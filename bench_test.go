@@ -1,0 +1,212 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (§V), plus the ablations documented in EXPERIMENTS.md.
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark regenerates the artefact from scratch (or from a shared
+// derived fleet where the paper's own figure assumes one) and reports the
+// headline quantities via b.ReportMetric, so a bench run doubles as an
+// experiment log.
+package cpsdyn_test
+
+import (
+	"sync"
+	"testing"
+
+	"cpsdyn/internal/casestudy"
+	"cpsdyn/internal/core"
+	"cpsdyn/internal/flexray"
+	"cpsdyn/internal/sched"
+)
+
+// sharedFleet caches the calibrated measured-mode fleet: deriving it is the
+// expensive, amortised setup step the paper performs once per case study.
+var (
+	fleetOnce sync.Once
+	fleetVal  []*core.Derived
+	fleetErr  error
+)
+
+func sharedFleet(b *testing.B) []*core.Derived {
+	b.Helper()
+	fleetOnce.Do(func() { fleetVal, fleetErr = casestudy.DeriveFleet() })
+	if fleetErr != nil {
+		b.Fatal(fleetErr)
+	}
+	return fleetVal
+}
+
+// BenchmarkTable1PaperMode rebuilds the Table I schedulability view (the
+// §III models for all six applications) from the paper's parameters.
+func BenchmarkTable1PaperMode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := casestudy.PaperApps(core.NonMonotonic); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Measured derives one measured Table-I row (the servo; a
+// full fleet derivation is benchmarked via Figure 5's setup).
+func BenchmarkTable1Measured(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		app, err := casestudy.ServoApp()
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := app.Derive()
+		if err != nil {
+			b.Fatal(err)
+		}
+		row := d.TimingRow()
+		b.ReportMetric(row.XiTT, "xiTT_s")
+		b.ReportMetric(row.XiET, "xiET_s")
+	}
+}
+
+// BenchmarkWalkthrough recomputes the §V quoted values (k̂wait, ξ̂).
+func BenchmarkWalkthrough(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		vals, err := casestudy.Walkthrough()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(vals) != 6 {
+			b.Fatalf("%d values", len(vals))
+		}
+	}
+}
+
+// BenchmarkSlotAllocationNonMonotonic reproduces the paper's 3-slot result.
+func BenchmarkSlotAllocationNonMonotonic(b *testing.B) {
+	slots := 0
+	for i := 0; i < b.N; i++ {
+		al, err := casestudy.PaperAllocation(core.NonMonotonic, sched.FirstFit, sched.ClosedForm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slots = al.NumSlots()
+	}
+	b.ReportMetric(float64(slots), "slots")
+}
+
+// BenchmarkSlotAllocationConservative reproduces the paper's 5-slot result.
+func BenchmarkSlotAllocationConservative(b *testing.B) {
+	slots := 0
+	for i := 0; i < b.N; i++ {
+		al, err := casestudy.PaperAllocation(core.ConservativeMonotonic, sched.FirstFit, sched.ClosedForm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slots = al.NumSlots()
+	}
+	b.ReportMetric(float64(slots), "slots")
+}
+
+// BenchmarkFigure3Curve regenerates the servo dwell/wait curve.
+func BenchmarkFigure3Curve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := casestudy.RunFig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak := r.Curve.PeakSample()
+		b.ReportMetric(peak.Dwell, "peak_dwell_s")
+		b.ReportMetric(peak.Wait, "peak_wait_s")
+	}
+}
+
+// BenchmarkFigure4Models regenerates the three §III models on the servo.
+func BenchmarkFigure4Models(b *testing.B) {
+	r, err := casestudy.RunFig3()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nm, cons, simple, err := r.Curve.FitModels()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if nm == nil || cons == nil || simple == nil {
+			b.Fatal("missing model")
+		}
+	}
+}
+
+// BenchmarkFigure5Simulation runs the six-app FlexRay co-simulation with
+// all disturbances at t = 0 on the pre-derived fleet.
+func BenchmarkFigure5Simulation(b *testing.B) {
+	fleet := sharedFleet(b)
+	alloc, err := core.AllocateSlots(fleet, core.NonMonotonic, sched.FirstFit, sched.ClosedForm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := core.SimPlan{
+		Bus:          flexray.CaseStudyConfig(),
+		Duration:     14,
+		JitterBuffer: true,
+		DisturbAllAt: 0,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Verify(fleet, alloc, plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Apps) != 6 {
+			b.Fatal("wrong app count")
+		}
+	}
+	b.ReportMetric(float64(alloc.NumSlots()), "slots")
+}
+
+// BenchmarkAblationSweepKp runs the dwell-peak-position sweep.
+func BenchmarkAblationSweepKp(b *testing.B) {
+	fr := []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2}
+	for i := 0; i < b.N; i++ {
+		pts, err := casestudy.SweepKp(fr, sched.FirstFit, sched.ClosedForm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != len(fr) {
+			b.Fatal("missing points")
+		}
+	}
+}
+
+// BenchmarkAblationRandomWorkloads measures the synthetic-workload sweep.
+func BenchmarkAblationRandomWorkloads(b *testing.B) {
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		stats, err := casestudy.RandomWorkloads(42, 100, 6, sched.FirstFit, sched.ClosedForm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		saving = stats.MeanSavingPercent
+	}
+	b.ReportMetric(saving, "mean_saving_%")
+}
+
+// BenchmarkAblationMethods compares closed-form and fixed-point bounds.
+func BenchmarkAblationMethods(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := casestudy.CompareMethods(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationExactAllocator prices the branch-and-bound optimum
+// against the paper's first-fit heuristic on the Table I workload.
+func BenchmarkAblationExactAllocator(b *testing.B) {
+	slots := 0
+	for i := 0; i < b.N; i++ {
+		al, err := casestudy.PaperAllocation(core.NonMonotonic, sched.Exact, sched.ClosedForm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slots = al.NumSlots()
+	}
+	b.ReportMetric(float64(slots), "slots")
+}

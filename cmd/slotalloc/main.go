@@ -1,0 +1,234 @@
+// Command slotalloc reads a fleet description from JSON and computes the
+// minimum TT-slot allocation with the paper's schedulability analysis —
+// the practical front door for using this library on your own timing data
+// (e.g. parameters measured on a real ECU network).
+//
+// Input format (times in seconds):
+//
+//	{
+//	  "policy": "first-fit",          // first-fit | sequential | best-fit | exact
+//	  "method": "closed-form",        // closed-form | fixed-point
+//	  "apps": [
+//	    {
+//	      "name": "C3", "r": 15, "deadline": 2,
+//	      "model": {"kind": "non-monotonic",
+//	                "xiTT": 0.39, "kp": 0.69, "xiM": 0.64, "xiET": 3.97}
+//	    }, ...
+//	  ]
+//	}
+//
+// Model kinds: "non-monotonic" (ξTT, kp, ξM, ξET), "conservative"
+// (kp, ξM, ξET) and "simple" (ξTT, ξET; UNSAFE — allowed for comparison,
+// flagged in the output).
+//
+// Usage: slotalloc [-json] fleet.json   (or "-" for stdin)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cpsdyn/internal/pwl"
+	"cpsdyn/internal/sched"
+	"cpsdyn/internal/textplot"
+)
+
+type inputModel struct {
+	Kind string  `json:"kind"`
+	XiTT float64 `json:"xiTT"`
+	Kp   float64 `json:"kp"`
+	XiM  float64 `json:"xiM"`
+	XiET float64 `json:"xiET"`
+}
+
+type inputApp struct {
+	Name     string     `json:"name"`
+	R        float64    `json:"r"`
+	Deadline float64    `json:"deadline"`
+	Model    inputModel `json:"model"`
+}
+
+type input struct {
+	Policy string     `json:"policy"`
+	Method string     `json:"method"`
+	Apps   []inputApp `json:"apps"`
+}
+
+type outputApp struct {
+	Name        string  `json:"name"`
+	Slot        int     `json:"slot"`
+	MaxWait     float64 `json:"maxWait"`
+	WCRT        float64 `json:"wcrt"`
+	Deadline    float64 `json:"deadline"`
+	Schedulable bool    `json:"schedulable"`
+}
+
+type output struct {
+	Slots  int         `json:"slots"`
+	Policy string      `json:"policy"`
+	Method string      `json:"method"`
+	Unsafe bool        `json:"unsafeModels,omitempty"`
+	Apps   []outputApp `json:"apps"`
+}
+
+func main() {
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: slotalloc [-json] fleet.json")
+		os.Exit(2)
+	}
+	var r io.Reader
+	if flag.Arg(0) == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	out, err := run(r)
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := render(os.Stdout, out); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "slotalloc:", err)
+	os.Exit(1)
+}
+
+// run parses the fleet, allocates slots and analyses each one.
+func run(r io.Reader) (*output, error) {
+	var in input
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("parsing input: %w", err)
+	}
+	if len(in.Apps) == 0 {
+		return nil, fmt.Errorf("no apps in input")
+	}
+	policy, err := parsePolicy(in.Policy)
+	if err != nil {
+		return nil, err
+	}
+	method, err := parseMethod(in.Method)
+	if err != nil {
+		return nil, err
+	}
+	apps := make([]*sched.App, 0, len(in.Apps))
+	unsafe := false
+	for _, ia := range in.Apps {
+		m, isUnsafe, err := buildModel(ia.Model)
+		if err != nil {
+			return nil, fmt.Errorf("app %q: %w", ia.Name, err)
+		}
+		unsafe = unsafe || isUnsafe
+		apps = append(apps, &sched.App{Name: ia.Name, R: ia.R, Deadline: ia.Deadline, Model: m})
+	}
+	al, err := sched.Allocate(apps, policy, method)
+	if err != nil {
+		return nil, err
+	}
+	out := &output{
+		Slots:  al.NumSlots(),
+		Policy: policy.String(),
+		Method: method.String(),
+		Unsafe: unsafe,
+	}
+	for s, group := range al.Slots {
+		results, _, err := sched.AnalyzeSlot(group, method)
+		if err != nil {
+			return nil, err
+		}
+		for _, res := range results {
+			out.Apps = append(out.Apps, outputApp{
+				Name:        res.App.Name,
+				Slot:        s + 1,
+				MaxWait:     res.MaxWait,
+				WCRT:        res.WCRT,
+				Deadline:    res.App.Deadline,
+				Schedulable: res.Schedulable,
+			})
+		}
+	}
+	return out, nil
+}
+
+func parsePolicy(s string) (sched.Policy, error) {
+	switch s {
+	case "", "first-fit":
+		return sched.FirstFit, nil
+	case "sequential":
+		return sched.Sequential, nil
+	case "best-fit":
+		return sched.BestFit, nil
+	case "exact":
+		return sched.Exact, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", s)
+	}
+}
+
+func parseMethod(s string) (sched.Method, error) {
+	switch s {
+	case "", "closed-form":
+		return sched.ClosedForm, nil
+	case "fixed-point":
+		return sched.FixedPoint, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q", s)
+	}
+}
+
+func buildModel(m inputModel) (model *pwl.Model, unsafe bool, err error) {
+	switch m.Kind {
+	case "non-monotonic":
+		model, err = pwl.PaperNonMonotonic(m.XiTT, m.Kp, m.XiM, m.XiET)
+		return model, false, err
+	case "conservative":
+		model, err = pwl.PaperConservative(m.Kp, m.XiM, m.XiET)
+		return model, false, err
+	case "simple":
+		model, err = pwl.SimpleMonotonic(m.XiTT, m.XiET)
+		return model, true, err
+	default:
+		return nil, false, fmt.Errorf("unknown model kind %q", m.Kind)
+	}
+}
+
+func render(w io.Writer, out *output) error {
+	fmt.Fprintf(w, "slots: %d  (policy %s, method %s)\n", out.Slots, out.Policy, out.Method)
+	if out.Unsafe {
+		fmt.Fprintln(w, "WARNING: input uses the simple monotonic model, which can under-estimate response times")
+	}
+	rows := make([][]string, 0, len(out.Apps))
+	for _, a := range out.Apps {
+		rows = append(rows, []string{
+			a.Name,
+			fmt.Sprintf("%d", a.Slot),
+			fmt.Sprintf("%.3f", a.MaxWait),
+			fmt.Sprintf("%.3f", a.WCRT),
+			fmt.Sprintf("%.3f", a.Deadline),
+			fmt.Sprintf("%v", a.Schedulable),
+		})
+	}
+	return textplot.Table(w, []string{"app", "slot", "k̂wait", "ξ̂", "ξd", "ok"}, rows)
+}

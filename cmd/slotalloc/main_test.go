@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tableIJSON is the paper's Table I in slotalloc's input format.
+const tableIJSON = `{
+  "policy": "first-fit",
+  "method": "closed-form",
+  "apps": [
+    {"name":"C1","r":200,"deadline":9.5,
+     "model":{"kind":"non-monotonic","xiTT":1.68,"kp":2.27,"xiM":5.30,"xiET":11.62}},
+    {"name":"C2","r":20,"deadline":6.25,
+     "model":{"kind":"non-monotonic","xiTT":2.58,"kp":1.34,"xiM":2.95,"xiET":8.59}},
+    {"name":"C3","r":15,"deadline":2,
+     "model":{"kind":"non-monotonic","xiTT":0.39,"kp":0.69,"xiM":0.64,"xiET":3.97}},
+    {"name":"C4","r":200,"deadline":7.5,
+     "model":{"kind":"non-monotonic","xiTT":2.50,"kp":1.92,"xiM":4.03,"xiET":10.40}},
+    {"name":"C5","r":20,"deadline":8.5,
+     "model":{"kind":"non-monotonic","xiTT":2.75,"kp":1.97,"xiM":4.58,"xiET":10.63}},
+    {"name":"C6","r":6,"deadline":6,
+     "model":{"kind":"non-monotonic","xiTT":0.71,"kp":0.67,"xiM":0.92,"xiET":7.94}}
+  ]
+}`
+
+func TestRunTableI(t *testing.T) {
+	out, err := run(strings.NewReader(tableIJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Slots != 3 {
+		t.Fatalf("slots = %d, want 3 (the paper's result)", out.Slots)
+	}
+	if out.Unsafe {
+		t.Fatal("non-monotonic input flagged unsafe")
+	}
+	for _, a := range out.Apps {
+		if !a.Schedulable {
+			t.Fatalf("app %s not schedulable", a.Name)
+		}
+	}
+}
+
+func TestRunConservativeNeedsFive(t *testing.T) {
+	j := strings.ReplaceAll(tableIJSON, `"kind":"non-monotonic"`, `"kind":"conservative"`)
+	out, err := run(strings.NewReader(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Slots != 5 {
+		t.Fatalf("conservative slots = %d, want 5", out.Slots)
+	}
+}
+
+func TestRunSimpleFlagsUnsafe(t *testing.T) {
+	j := strings.ReplaceAll(tableIJSON, `"kind":"non-monotonic"`, `"kind":"simple"`)
+	out, err := run(strings.NewReader(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Unsafe {
+		t.Fatal("simple models must be flagged unsafe")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"bad json", `{`},
+		{"no apps", `{"apps":[]}`},
+		{"bad policy", `{"policy":"magic","apps":[{"name":"a","r":1,"deadline":1,"model":{"kind":"simple","xiTT":0.1,"xiET":0.5}}]}`},
+		{"bad method", `{"method":"guess","apps":[{"name":"a","r":1,"deadline":1,"model":{"kind":"simple","xiTT":0.1,"xiET":0.5}}]}`},
+		{"bad kind", `{"apps":[{"name":"a","r":1,"deadline":1,"model":{"kind":"nope"}}]}`},
+		{"unknown field", `{"apps":[],"wat":1}`},
+		{"unschedulable", `{"apps":[{"name":"a","r":10,"deadline":0.1,"model":{"kind":"non-monotonic","xiTT":1,"kp":2,"xiM":3,"xiET":5}}]}`},
+	}
+	for _, c := range cases {
+		if _, err := run(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	out, err := run(strings.NewReader(tableIJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := render(&buf, out); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "slots: 3") || !strings.Contains(s, "C3") {
+		t.Fatalf("render output:\n%s", s)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	p, err := parsePolicy("")
+	if err != nil || p.String() != "first-fit" {
+		t.Fatalf("default policy = %v, %v", p, err)
+	}
+	m, err := parseMethod("")
+	if err != nil || m.String() != "closed-form" {
+		t.Fatalf("default method = %v, %v", m, err)
+	}
+}

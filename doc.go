@@ -1,0 +1,10 @@
+// Package cpsdyn reproduces the DATE 2019 paper "Exploiting System Dynamics
+// for Resource-Efficient Automotive CPS Design" (Maldonado, Chang, Roy,
+// Annaswamy, Goswami, Chakraborty) as a production-quality Go library.
+//
+// The implementation lives under internal/: see internal/core for the
+// user-facing pipeline (Application → Derive → AllocateSlots → Verify),
+// internal/casestudy for the §V experiments, and the runnable programs in
+// cmd/cpsrepro and examples/. The root-level bench harness (bench_test.go)
+// regenerates every table and figure of the paper's evaluation.
+package cpsdyn

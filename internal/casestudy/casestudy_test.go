@@ -1,0 +1,301 @@
+package casestudy
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"cpsdyn/internal/core"
+	"cpsdyn/internal/sched"
+)
+
+// Deriving the measured fleet is expensive (calibration + curve sampling);
+// share one instance across tests.
+var (
+	fleetOnce sync.Once
+	fleetVal  []*core.Derived
+	fleetErr  error
+)
+
+func derivedFleet(t *testing.T) []*core.Derived {
+	t.Helper()
+	fleetOnce.Do(func() { fleetVal, fleetErr = DeriveFleet() })
+	if fleetErr != nil {
+		t.Fatal(fleetErr)
+	}
+	return fleetVal
+}
+
+func TestTableIShape(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 6 {
+		t.Fatalf("Table I has %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !(r.XiTT < r.XiET && r.XiTT <= r.XiM && r.XiM <= r.XiPrimeM) {
+			t.Errorf("%s: ordering broken: %+v", r.Name, r)
+		}
+		if r.Xid > r.R {
+			t.Errorf("%s: deadline beyond inter-arrival", r.Name)
+		}
+		if !(0 < r.Kp && r.Kp < r.XiET) {
+			t.Errorf("%s: kp outside (0, ξET)", r.Name)
+		}
+	}
+}
+
+// The §V walk-through must reproduce every quoted number.
+func TestPaperWalkthrough(t *testing.T) {
+	vals, err := Walkthrough()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 6 {
+		t.Fatalf("walk-through has %d values, want 6", len(vals))
+	}
+	for _, v := range vals {
+		tol := 0.01 * math.Max(1, v.Paper)
+		if math.Abs(v.Got-v.Paper) > tol {
+			t.Errorf("%s = %.4f, paper says %.4f", v.Label, v.Got, v.Paper)
+		}
+	}
+}
+
+// Headline: 3 slots (non-monotonic) vs 5 (conservative), +67%.
+func TestPaperSlotCounts(t *testing.T) {
+	c, err := ComparePaperSlotCounts(sched.FirstFit, sched.ClosedForm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NonMonotonicSlots != 3 {
+		t.Fatalf("non-monotonic slots = %d, want 3", c.NonMonotonicSlots)
+	}
+	if c.ConservativeSlots != 5 {
+		t.Fatalf("conservative slots = %d, want 5", c.ConservativeSlots)
+	}
+	if math.Abs(c.ExtraPercent-66.67) > 1 {
+		t.Fatalf("extra = %.1f%%, want ≈67%%", c.ExtraPercent)
+	}
+}
+
+// The exact groupings of §V.
+func TestPaperGroupings(t *testing.T) {
+	al, err := PaperAllocation(core.NonMonotonic, sched.FirstFit, sched.ClosedForm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"C3": 0, "C6": 0, "C2": 1, "C4": 1, "C5": 2, "C1": 2}
+	for name, slot := range want {
+		if got := al.SlotOf(name); got != slot {
+			t.Errorf("%s on slot %d, want %d", name, got+1, slot+1)
+		}
+	}
+}
+
+func TestPaperAppsUnknownKind(t *testing.T) {
+	if _, err := PaperApps(core.ModelKind(42)); err == nil {
+		t.Fatal("want error for unknown model kind")
+	}
+}
+
+// The unsafe simple-monotonic model packs more aggressively (it cannot use
+// more slots than the non-monotonic model on this workload).
+func TestPaperSimpleMonotonicPacksTighter(t *testing.T) {
+	simple, err := PaperAllocation(core.SimpleMonotonic, sched.FirstFit, sched.ClosedForm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, err := PaperAllocation(core.NonMonotonic, sched.FirstFit, sched.ClosedForm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simple.NumSlots() > nm.NumSlots() {
+		t.Fatalf("simple %d slots > non-monotonic %d", simple.NumSlots(), nm.NumSlots())
+	}
+}
+
+func TestServoFig3Reproduction(t *testing.T) {
+	r, err := RunFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape: non-monotonic with an interior peak, like the paper's Fig. 3.
+	if !r.Curve.IsNonMonotonic() {
+		t.Fatal("servo curve must be non-monotonic")
+	}
+	peak := r.Curve.PeakSample()
+	if peak.Wait <= 0 || peak.Wait > r.Curve.XiET/2 {
+		t.Fatalf("peak at %g s, want early interior peak", peak.Wait)
+	}
+	// Magnitudes: within 15% of the paper's ξTT = 0.68 s, ξET = 2.16 s.
+	if math.Abs(r.Curve.XiTT-0.68) > 0.15*0.68 {
+		t.Fatalf("ξTT = %g, want ≈0.68", r.Curve.XiTT)
+	}
+	if math.Abs(r.Curve.XiET-2.16) > 0.15*2.16 {
+		t.Fatalf("ξET = %g, want ≈2.16", r.Curve.XiET)
+	}
+}
+
+func TestServoFig4Models(t *testing.T) {
+	r, err := RunFig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.NonMonotonic.Dominates(r.Curve.Samples, 1e-9) {
+		t.Fatal("non-monotonic model must dominate the measured curve")
+	}
+	if !r.Conservative.Dominates(r.Curve.Samples, 1e-9) {
+		t.Fatal("conservative model must dominate the measured curve")
+	}
+	if r.Simple.Dominates(r.Curve.Samples, 1e-9) {
+		t.Fatal("simple model must NOT dominate a non-monotonic curve (that is the point)")
+	}
+	// Conservative ≥ non-monotonic everywhere (Fig. 4 ordering).
+	for w := 0.0; w < r.Curve.XiET; w += r.Curve.XiET / 101 {
+		if r.Conservative.Dwell(w) < r.NonMonotonic.Dwell(w)-1e-9 {
+			t.Fatalf("conservative below non-monotonic at %g", w)
+		}
+	}
+}
+
+func TestMeasuredFleetMatchesTableITimings(t *testing.T) {
+	fleet := derivedFleet(t)
+	paper := TableI()
+	for i, d := range fleet {
+		row := d.TimingRow()
+		p := paper[i]
+		if math.Abs(row.XiTT-p.XiTT) > 0.10*p.XiTT+0.05 {
+			t.Errorf("%s: ξTT = %.2f, paper %.2f", row.Name, row.XiTT, p.XiTT)
+		}
+		if math.Abs(row.XiET-p.XiET) > 0.10*p.XiET+0.05 {
+			t.Errorf("%s: ξET = %.2f, paper %.2f", row.Name, row.XiET, p.XiET)
+		}
+		if row.XiM < row.XiTT-1e-9 || row.XiPrimeM < row.XiM-1e-9 {
+			t.Errorf("%s: model ordering broken: %+v", row.Name, row)
+		}
+	}
+}
+
+func TestMeasuredSlotCountsOrdering(t *testing.T) {
+	c, err := CompareMeasuredSlotCounts(sched.FirstFit, sched.ClosedForm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NonMonotonicSlots > c.ConservativeSlots {
+		t.Fatalf("non-monotonic (%d) must never need more slots than conservative (%d)",
+			c.NonMonotonicSlots, c.ConservativeSlots)
+	}
+	if c.NonMonotonicSlots < 1 {
+		t.Fatal("fleet cannot fit in zero slots")
+	}
+}
+
+// Fig. 5: all six measured apps, disturbed at t = 0, meet their deadlines
+// in the event-level FlexRay co-simulation.
+func TestFig5AllDeadlinesMet(t *testing.T) {
+	r, err := RunFig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Sim.Apps) != 6 {
+		t.Fatalf("%d apps simulated", len(r.Sim.Apps))
+	}
+	for name, ar := range r.Sim.Apps {
+		if !ar.DeadlineMet {
+			t.Errorf("%s missed its deadline: %v", name, ar.ResponseTimes)
+		}
+		if len(ar.Trace) == 0 {
+			t.Errorf("%s has an empty trace", name)
+		}
+	}
+	if r.Allocation.NumSlots() < 1 || r.Allocation.NumSlots() > 6 {
+		t.Fatalf("allocation has %d slots", r.Allocation.NumSlots())
+	}
+}
+
+func TestSweepKpGapGrowsWithKp(t *testing.T) {
+	pts, err := SweepKp([]float64{0.2, 0.6, 1.0}, sched.FirstFit, sched.ClosedForm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.NonMonotonicSlots > p.ConservativeSlots {
+			t.Fatalf("fraction %g: non-monotonic worse than conservative", p.Fraction)
+		}
+	}
+	// At the paper's kp (fraction 1.0) the gap is the headline 3 vs 5.
+	last := pts[len(pts)-1]
+	if last.NonMonotonicSlots != 3 || last.ConservativeSlots != 5 {
+		t.Fatalf("fraction 1.0: %d vs %d, want 3 vs 5", last.NonMonotonicSlots, last.ConservativeSlots)
+	}
+	// The conservative penalty must not shrink as kp grows.
+	for i := 1; i < len(pts); i++ {
+		gap0 := pts[i-1].ConservativeSlots - pts[i-1].NonMonotonicSlots
+		gap1 := pts[i].ConservativeSlots - pts[i].NonMonotonicSlots
+		if gap1 < gap0 {
+			t.Fatalf("gap shrank from %d to %d as kp grew", gap0, gap1)
+		}
+	}
+}
+
+func TestSweepKpValidation(t *testing.T) {
+	if _, err := SweepKp([]float64{0}, sched.FirstFit, sched.ClosedForm); err == nil {
+		t.Fatal("want error for fraction 0")
+	}
+}
+
+func TestRandomWorkloads(t *testing.T) {
+	stats, err := RandomWorkloads(7, 40, 6, sched.FirstFit, sched.ClosedForm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workloads < 10 {
+		t.Fatalf("only %d usable workloads", stats.Workloads)
+	}
+	if !stats.NeverWorse {
+		t.Fatal("non-monotonic model used more slots than conservative on some workload")
+	}
+	if stats.MeanConservative < stats.MeanNonMonotonic {
+		t.Fatalf("mean slots: conservative %.2f < non-monotonic %.2f",
+			stats.MeanConservative, stats.MeanNonMonotonic)
+	}
+}
+
+func TestRandomWorkloadsValidation(t *testing.T) {
+	if _, err := RandomWorkloads(1, 0, 6, sched.FirstFit, sched.ClosedForm); err == nil {
+		t.Fatal("want error for zero count")
+	}
+}
+
+func TestSweepSegmentsTightensSafely(t *testing.T) {
+	pts, err := SweepSegments([]int{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if !p.Dominates {
+			t.Fatalf("%d segments: model does not dominate the curve", p.Segments)
+		}
+		if i > 0 && p.Area > pts[i-1].Area+1e-9 {
+			t.Fatalf("area grew from %g to %g with more segments", pts[i-1].Area, p.Area)
+		}
+	}
+}
+
+func TestCompareMethods(t *testing.T) {
+	cmp, err := CompareMethods()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp) == 0 {
+		t.Fatal("no comparisons produced")
+	}
+	for _, c := range cmp {
+		if c.FixedPoint > c.ClosedForm+1e-9 {
+			t.Errorf("%s: fixed point %.3f exceeds closed form %.3f", c.App, c.FixedPoint, c.ClosedForm)
+		}
+	}
+}

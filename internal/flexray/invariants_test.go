@@ -1,0 +1,89 @@
+package flexray
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: within any processed cycle, (a) every arrival lies inside the
+// cycle window, (b) arrival times never precede their enqueue times, and
+// (c) transmissions never overlap on the wire — static slots own disjoint
+// windows and the dynamic pointer is sequential, so arrivals must be
+// separated by at least a frame/slot duration within their segment.
+func TestPropBusTimingInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := CaseStudyConfig()
+		bus, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		// Random static ownership for three apps.
+		apps := []string{"A", "B", "C"}
+		slotOf := map[string]int{}
+		for i, app := range apps {
+			s := (i*3 + r.Intn(3)) % cfg.StaticSlots
+			for bus.StaticOwner(s) != "" {
+				s = (s + 1) % cfg.StaticSlots
+			}
+			if err := bus.AssignStatic(s, app); err != nil {
+				return false
+			}
+			slotOf[app] = s
+		}
+		frameLen := int64(cfg.FrameMinislots) * cfg.MinislotLen
+		for cycle := int64(0); cycle < 8; cycle++ {
+			start := cycle * cfg.CycleLength
+			// Random sends, mixing lanes.
+			for i, app := range apps {
+				if r.Intn(2) == 0 {
+					continue
+				}
+				msg := Message{
+					FrameID:  i + 1,
+					App:      app,
+					Enqueued: start - r.Int63n(cfg.CycleLength),
+				}
+				if msg.Enqueued < 0 {
+					msg.Enqueued = 0
+				}
+				if r.Intn(2) == 0 {
+					msg.Static = true
+					msg.Slot = slotOf[app]
+				}
+				if err := bus.Send(msg); err != nil {
+					return false
+				}
+			}
+			arrivals := bus.ProcessCycle(start)
+			var lastStatic, lastDyn int64 = -1, -1
+			for _, a := range arrivals {
+				if a.Time <= start || a.Time > start+cfg.CycleLength {
+					return false // outside the cycle window
+				}
+				if a.Time < a.Msg.Enqueued {
+					return false // delivered before it existed
+				}
+				if a.Msg.Static {
+					if lastStatic >= 0 && a.Time-lastStatic < cfg.StaticSlotLen {
+						return false // overlapping static windows
+					}
+					lastStatic = a.Time
+				} else {
+					if a.Time-start <= cfg.StaticSegment() {
+						return false // dynamic frame inside the static segment
+					}
+					if lastDyn >= 0 && a.Time-lastDyn < frameLen {
+						return false // overlapping dynamic frames
+					}
+					lastDyn = a.Time
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

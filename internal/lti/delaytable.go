@@ -1,0 +1,88 @@
+package lti
+
+import (
+	"fmt"
+	"math"
+
+	"cpsdyn/internal/mat"
+)
+
+// DelayTable produces (Γ0, Γ1) pairs for arbitrary per-period delays of one
+// plant. The event-level co-simulation uses it to integrate a sampling
+// period exactly when the actuation message arrives at a delay that varies
+// cycle to cycle (dynamic-segment arbitration).
+//
+// Results are cached keyed by the delay quantised to nanoseconds; a FlexRay
+// schedule produces only a handful of distinct delays, so the cache stays
+// tiny.
+type DelayTable struct {
+	plant *Continuous
+	h     float64
+	phi   *mat.Matrix
+	cache map[int64]gammaPair
+}
+
+type gammaPair struct {
+	g0, g1 *mat.Matrix
+}
+
+// NewDelayTable builds a table for the given plant and sampling period.
+func NewDelayTable(plant *Continuous, h float64) (*DelayTable, error) {
+	if err := plant.Validate(); err != nil {
+		return nil, err
+	}
+	if h <= 0 {
+		return nil, fmt.Errorf("lti: DelayTable: sampling period %g must be positive", h)
+	}
+	phi, err := mat.Expm(plant.A.Scale(h))
+	if err != nil {
+		return nil, err
+	}
+	return &DelayTable{
+		plant: plant,
+		h:     h,
+		phi:   phi,
+		cache: make(map[int64]gammaPair),
+	}, nil
+}
+
+// Phi returns e^{Ah}, shared by every delay.
+func (t *DelayTable) Phi() *mat.Matrix { return t.phi }
+
+// H returns the sampling period.
+func (t *DelayTable) H() float64 { return t.h }
+
+// Gammas returns (Γ0(d), Γ1(d)) for a delay d ∈ [0, h].
+func (t *DelayTable) Gammas(d float64) (g0, g1 *mat.Matrix, err error) {
+	if d < 0 || d > t.h {
+		return nil, nil, fmt.Errorf("lti: DelayTable: delay %g outside [0, %g]", d, t.h)
+	}
+	key := int64(math.Round(d * 1e9))
+	if p, ok := t.cache[key]; ok {
+		return p.g0, p.g1, nil
+	}
+	phiHmD, g0, err := mat.ExpmIntegral(t.plant.A, t.plant.B, t.h-d)
+	if err != nil {
+		return nil, nil, err
+	}
+	_, gammaD, err := mat.ExpmIntegral(t.plant.A, t.plant.B, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	g1 = phiHmD.Mul(gammaD)
+	t.cache[key] = gammaPair{g0: g0, g1: g1}
+	return g0, g1, nil
+}
+
+// Step integrates one sampling period with actual delay d: the previous
+// input uPrev is held on [0, d) and the new input u on [d, h).
+func (t *DelayTable) Step(x, u, uPrev []float64, d float64) ([]float64, error) {
+	g0, g1, err := t.Gammas(d)
+	if err != nil {
+		return nil, err
+	}
+	next := t.phi.MulVec(x)
+	next = mat.VecAdd(next, g0.MulVec(u))
+	next = mat.VecAdd(next, g1.MulVec(uPrev))
+	return next, nil
+}

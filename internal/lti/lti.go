@@ -1,0 +1,154 @@
+// Package lti models the linear time-invariant control plants of the paper.
+//
+// Each control application Ci closes a loop around a continuous-time plant
+//
+//	ẋ = A·x + B·u,   y = C·x,
+//
+// sampled with period h and actuated after a sensor-to-actuator delay
+// d ∈ [0, h]. Discretising with the delay split (Åström–Wittenmark) yields
+// exactly the paper's eq. (1):
+//
+//	x[k+1] = Φ·x[k] + Γ0·u[k] + Γ1·u[k−1],   y[k] = C·x[k],
+//
+// with Φ = e^{Ah}, Γ0 = ∫₀^{h−d} e^{As} ds·B and Γ1 = e^{A(h−d)}·∫₀^{d} e^{As} ds·B.
+package lti
+
+import (
+	"fmt"
+
+	"cpsdyn/internal/mat"
+)
+
+// Continuous is a continuous-time LTI plant ẋ = A·x + B·u, y = C·x.
+type Continuous struct {
+	Name string
+	A    *mat.Matrix // n×n state matrix
+	B    *mat.Matrix // n×m input matrix
+	C    *mat.Matrix // p×n output matrix (may be nil for full-state plants)
+}
+
+// Order returns the state dimension n.
+func (c *Continuous) Order() int { return c.A.Rows() }
+
+// Inputs returns the input dimension m.
+func (c *Continuous) Inputs() int { return c.B.Cols() }
+
+// Validate checks shape consistency.
+func (c *Continuous) Validate() error {
+	if c.A == nil || c.B == nil {
+		return fmt.Errorf("lti: plant %q: A and B must be set", c.Name)
+	}
+	if c.A.Rows() != c.A.Cols() {
+		return fmt.Errorf("lti: plant %q: A is %d×%d, want square", c.Name, c.A.Rows(), c.A.Cols())
+	}
+	if c.B.Rows() != c.A.Rows() {
+		return fmt.Errorf("lti: plant %q: B has %d rows, want %d", c.Name, c.B.Rows(), c.A.Rows())
+	}
+	if c.C != nil && c.C.Cols() != c.A.Rows() {
+		return fmt.Errorf("lti: plant %q: C has %d cols, want %d", c.Name, c.C.Cols(), c.A.Rows())
+	}
+	return nil
+}
+
+// Discrete is the sampled-data model of the paper's eq. (1).
+type Discrete struct {
+	Name   string
+	Phi    *mat.Matrix // n×n
+	Gamma0 *mat.Matrix // n×m, weight of u[k]
+	Gamma1 *mat.Matrix // n×m, weight of u[k−1]
+	C      *mat.Matrix // p×n or nil
+	H      float64     // sampling period in seconds
+	D      float64     // sensor-to-actuator delay in seconds, 0 ≤ D ≤ H
+}
+
+// Order returns the plant state dimension n.
+func (d *Discrete) Order() int { return d.Phi.Rows() }
+
+// Inputs returns the input dimension m.
+func (d *Discrete) Inputs() int { return d.Gamma0.Cols() }
+
+// Discretize samples the continuous plant with period h and constant
+// sensor-to-actuator delay d (0 ≤ d ≤ h).
+func Discretize(c *Continuous, h, d float64) (*Discrete, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if h <= 0 {
+		return nil, fmt.Errorf("lti: plant %q: sampling period %g must be positive", c.Name, h)
+	}
+	if d < 0 || d > h {
+		return nil, fmt.Errorf("lti: plant %q: delay %g outside [0, h=%g]", c.Name, d, h)
+	}
+	phi, err := mat.Expm(c.A.Scale(h))
+	if err != nil {
+		return nil, fmt.Errorf("lti: plant %q: %w", c.Name, err)
+	}
+	// Γ0 covers [0, h−d) where u[k] is active after arrival at t[k]+d ... the
+	// split integral: u[k−1] is held on [0, d), u[k] on [d, h).
+	phiHmD, gamma0, err := mat.ExpmIntegral(c.A, c.B, h-d)
+	if err != nil {
+		return nil, fmt.Errorf("lti: plant %q: %w", c.Name, err)
+	}
+	_, gammaD, err := mat.ExpmIntegral(c.A, c.B, d)
+	if err != nil {
+		return nil, fmt.Errorf("lti: plant %q: %w", c.Name, err)
+	}
+	gamma1 := phiHmD.Mul(gammaD)
+	cc := c.C
+	if cc == nil {
+		cc = mat.Identity(c.Order())
+	}
+	return &Discrete{
+		Name:   c.Name,
+		Phi:    phi,
+		Gamma0: gamma0,
+		Gamma1: gamma1,
+		C:      cc,
+		H:      h,
+		D:      d,
+	}, nil
+}
+
+// Step advances the plant one sampling period: returns
+// Φ·x + Γ0·u + Γ1·uPrev.
+func (d *Discrete) Step(x, u, uPrev []float64) []float64 {
+	next := d.Phi.MulVec(x)
+	next = mat.VecAdd(next, d.Gamma0.MulVec(u))
+	next = mat.VecAdd(next, d.Gamma1.MulVec(uPrev))
+	return next
+}
+
+// Output returns y[k] = C·x[k].
+func (d *Discrete) Output(x []float64) []float64 { return d.C.MulVec(x) }
+
+// Augmented returns the delay-augmented state-space pair (Ā, B̄) on
+// z = [x; u[k−1]]:
+//
+//	z[k+1] = [Φ Γ1; 0 0]·z[k] + [Γ0; I]·u[k].
+//
+// The augmentation is used even for d = 0 (Γ1 = 0) so that the ET and TT
+// closed loops of one application share a state space and can be switched.
+func (d *Discrete) Augmented() (abar, bbar *mat.Matrix) {
+	n, m := d.Order(), d.Inputs()
+	abar = mat.Block([][]*mat.Matrix{
+		{d.Phi, d.Gamma1},
+		{mat.New(m, n), mat.New(m, m)},
+	})
+	bbar = mat.Block([][]*mat.Matrix{
+		{d.Gamma0},
+		{mat.Identity(m)},
+	})
+	return abar, bbar
+}
+
+// ClosedLoop returns the augmented closed-loop matrix Ā − B̄·K for a
+// state-feedback gain K (m×(n+m)) acting on z = [x; u[k−1]].
+func (d *Discrete) ClosedLoop(k *mat.Matrix) (*mat.Matrix, error) {
+	abar, bbar := d.Augmented()
+	n, m := d.Order(), d.Inputs()
+	if k.Rows() != m || k.Cols() != n+m {
+		return nil, fmt.Errorf("lti: plant %q: gain is %d×%d, want %d×%d",
+			d.Name, k.Rows(), k.Cols(), m, n+m)
+	}
+	return abar.Sub(bbar.Mul(k)), nil
+}

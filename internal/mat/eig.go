@@ -1,0 +1,247 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+)
+
+// ErrNoConvergence is returned when the QR eigenvalue iteration fails to
+// converge within its iteration budget.
+var ErrNoConvergence = errors.New("mat: QR eigenvalue iteration did not converge")
+
+// Eigenvalues returns all eigenvalues of a square real matrix, computed via
+// complex Hessenberg reduction followed by a Wilkinson-shifted QR iteration
+// with deflation. Order is not specified.
+func Eigenvalues(a *Matrix) ([]complex128, error) {
+	a.mustSquare("Eigenvalues")
+	n := a.rows
+	if n == 0 {
+		return nil, nil
+	}
+	h := toComplex(a)
+	hessenberg(h, n)
+	return qrEigen(h, n)
+}
+
+// SpectralRadius returns max |λ| over the eigenvalues of a.
+func SpectralRadius(a *Matrix) (float64, error) {
+	eigs, err := Eigenvalues(a)
+	if err != nil {
+		return math.NaN(), err
+	}
+	r := 0.0
+	for _, l := range eigs {
+		if m := cmplx.Abs(l); m > r {
+			r = m
+		}
+	}
+	return r, nil
+}
+
+// IsSchurStable reports whether all eigenvalues of a lie strictly inside the
+// unit circle (discrete-time asymptotic stability).
+func IsSchurStable(a *Matrix) (bool, error) {
+	r, err := SpectralRadius(a)
+	if err != nil {
+		return false, err
+	}
+	return r < 1, nil
+}
+
+func toComplex(a *Matrix) []complex128 {
+	out := make([]complex128, len(a.data))
+	for i, v := range a.data {
+		out[i] = complex(v, 0)
+	}
+	return out
+}
+
+// hessenberg reduces h (n×n, row-major complex) to upper Hessenberg form via
+// Householder reflections. Similarity transforms preserve eigenvalues; the
+// accumulated transform is not needed.
+func hessenberg(h []complex128, n int) {
+	for k := 0; k < n-2; k++ {
+		// Build the Householder vector from column k, rows k+1..n−1.
+		alpha := 0.0
+		for i := k + 1; i < n; i++ {
+			alpha += real(h[i*n+k])*real(h[i*n+k]) + imag(h[i*n+k])*imag(h[i*n+k])
+		}
+		alpha = math.Sqrt(alpha)
+		if alpha == 0 {
+			continue
+		}
+		x0 := h[(k+1)*n+k]
+		var phase complex128 = 1
+		if cmplx.Abs(x0) > 0 {
+			phase = x0 / complex(cmplx.Abs(x0), 0)
+		}
+		// v = x + phase·α·e1, reflector P = I − 2 v vᴴ / (vᴴ v).
+		v := make([]complex128, n-k-1)
+		for i := range v {
+			v[i] = h[(k+1+i)*n+k]
+		}
+		v[0] += phase * complex(alpha, 0)
+		vnorm2 := 0.0
+		for _, vi := range v {
+			vnorm2 += real(vi)*real(vi) + imag(vi)*imag(vi)
+		}
+		if vnorm2 == 0 {
+			continue
+		}
+		beta := complex(2/vnorm2, 0)
+		// Apply P from the left to rows k+1..n−1 (columns k..n−1).
+		for j := k; j < n; j++ {
+			var s complex128
+			for i := range v {
+				s += cmplx.Conj(v[i]) * h[(k+1+i)*n+j]
+			}
+			s *= beta
+			for i := range v {
+				h[(k+1+i)*n+j] -= v[i] * s
+			}
+		}
+		// Apply P from the right to columns k+1..n−1 (all rows).
+		for i := 0; i < n; i++ {
+			var s complex128
+			for j := range v {
+				s += h[i*n+(k+1+j)] * v[j]
+			}
+			s *= beta
+			for j := range v {
+				h[i*n+(k+1+j)] -= s * cmplx.Conj(v[j])
+			}
+		}
+	}
+	// Zero out anything below the first subdiagonal (numerical dust).
+	for i := 2; i < n; i++ {
+		for j := 0; j < i-1; j++ {
+			h[i*n+j] = 0
+		}
+	}
+}
+
+// qrEigen runs a Wilkinson-shifted QR iteration on an upper Hessenberg
+// complex matrix, deflating converged eigenvalues from the bottom.
+func qrEigen(h []complex128, n int) ([]complex128, error) {
+	const maxIterPerEig = 200
+	eigs := make([]complex128, 0, n)
+	m := n // active block is h[0:m, 0:m]
+	iter := 0
+	for m > 0 {
+		if m == 1 {
+			eigs = append(eigs, h[0])
+			m = 0
+			break
+		}
+		// Deflation test on the last subdiagonal of the active block.
+		l := m - 1
+		small := eps * (cmplx.Abs(h[(l-1)*n+(l-1)]) + cmplx.Abs(h[l*n+l]))
+		if small == 0 {
+			small = eps
+		}
+		if cmplx.Abs(h[l*n+(l-1)]) <= small {
+			eigs = append(eigs, h[l*n+l])
+			m--
+			iter = 0
+			continue
+		}
+		if iter >= maxIterPerEig {
+			return nil, ErrNoConvergence
+		}
+		iter++
+		shift := wilkinsonShift(h, n, m)
+		if iter%30 == 0 {
+			// Exceptional ad-hoc shift to break symmetric stall cycles.
+			shift = complex(cmplx.Abs(h[(m-1)*n+(m-2)])+cmplx.Abs(h[(m-2)*n+(m-3+boolToInt(m < 3))]), 0)
+		}
+		qrStepShifted(h, n, m, shift)
+	}
+	return eigs, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+const eps = 2.220446049250313e-16
+
+// wilkinsonShift returns the eigenvalue of the trailing 2×2 block of the
+// active m×m region closest to its bottom-right entry.
+func wilkinsonShift(h []complex128, n, m int) complex128 {
+	a := h[(m-2)*n+(m-2)]
+	b := h[(m-2)*n+(m-1)]
+	c := h[(m-1)*n+(m-2)]
+	d := h[(m-1)*n+(m-1)]
+	tr := a + d
+	det := a*d - b*c
+	disc := cmplx.Sqrt(tr*tr - 4*det)
+	l1 := (tr + disc) / 2
+	l2 := (tr - disc) / 2
+	if cmplx.Abs(l1-d) < cmplx.Abs(l2-d) {
+		return l1
+	}
+	return l2
+}
+
+// qrStepShifted performs one implicit single-shift QR step on the active
+// m×m Hessenberg block using Givens rotations: H ← Qᴴ (H − σI) ... applied
+// as H ← G…G (H) Gᴴ…Gᴴ so that Hessenberg form is preserved.
+func qrStepShifted(h []complex128, n, m int, shift complex128) {
+	cs := make([]complex128, m-1)
+	sn := make([]complex128, m-1)
+	// Subtract the shift on the diagonal of the active block.
+	for i := 0; i < m; i++ {
+		h[i*n+i] -= shift
+	}
+	// Compute and apply Givens rotations G_i annihilating h[i+1, i].
+	for i := 0; i < m-1; i++ {
+		a := h[i*n+i]
+		b := h[(i+1)*n+i]
+		c, s := givens(a, b)
+		cs[i], sn[i] = c, s
+		// Apply from the left to rows i, i+1 (columns i..m−1).
+		for j := i; j < m; j++ {
+			t1 := h[i*n+j]
+			t2 := h[(i+1)*n+j]
+			h[i*n+j] = cmplx.Conj(c)*t1 + cmplx.Conj(s)*t2
+			h[(i+1)*n+j] = -s*t1 + c*t2
+		}
+	}
+	// Apply Gᴴ from the right to columns i, i+1 (rows 0..min(i+2, m−1)).
+	for i := 0; i < m-1; i++ {
+		c, s := cs[i], sn[i]
+		top := i + 2
+		if top > m-1 {
+			top = m - 1
+		}
+		for r := 0; r <= top; r++ {
+			t1 := h[r*n+i]
+			t2 := h[r*n+(i+1)]
+			h[r*n+i] = t1*c + t2*s
+			h[r*n+(i+1)] = -t1*cmplx.Conj(s) + t2*cmplx.Conj(c)
+		}
+	}
+	// Restore the shift.
+	for i := 0; i < m; i++ {
+		h[i*n+i] += shift
+	}
+}
+
+// givens returns (c, s) with |c|²+|s|²=1 such that
+// [cᴴ sᴴ; −s c]·[a; b] = [r; 0].
+func givens(a, b complex128) (c, s complex128) {
+	if b == 0 {
+		return 1, 0
+	}
+	norm := math.Hypot(cmplx.Abs(a), cmplx.Abs(b))
+	if norm == 0 {
+		return 1, 0
+	}
+	c = a / complex(norm, 0)
+	s = b / complex(norm, 0)
+	return c, s
+}

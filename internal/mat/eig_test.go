@@ -1,0 +1,196 @@
+package mat
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// eigClose greedily matches each value in got against the nearest unused
+// value in want; sort-based pairing would mispair conjugate eigenvalues whose
+// real parts differ only in the last ulp.
+func eigClose(got, want []complex128, tol float64) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	used := make([]bool, len(want))
+	for _, g := range got {
+		best, bestDist := -1, math.Inf(1)
+		for j, w := range want {
+			if used[j] {
+				continue
+			}
+			if d := cmplx.Abs(g - w); d < bestDist {
+				best, bestDist = j, d
+			}
+		}
+		if best < 0 || bestDist > tol {
+			return false
+		}
+		used[best] = true
+	}
+	return true
+}
+
+func TestEigenvaluesDiagonal(t *testing.T) {
+	got, err := Eigenvalues(Diag(3, -1, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []complex128{3, -1, 0.5}
+	if !eigClose(got, want, 1e-10) {
+		t.Fatalf("eig = %v, want %v", got, want)
+	}
+}
+
+func TestEigenvaluesTriangular(t *testing.T) {
+	a := FromRows([][]float64{
+		{1, 5, 7},
+		{0, 2, 9},
+		{0, 0, 3},
+	})
+	got, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eigClose(got, []complex128{1, 2, 3}, 1e-9) {
+		t.Fatalf("eig = %v, want 1,2,3", got)
+	}
+}
+
+func TestEigenvaluesComplexPair(t *testing.T) {
+	// Rotation-like matrix: eigenvalues a ± bi.
+	a := FromRows([][]float64{{0.5, -0.8}, {0.8, 0.5}})
+	got, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []complex128{complex(0.5, 0.8), complex(0.5, -0.8)}
+	if !eigClose(got, want, 1e-10) {
+		t.Fatalf("eig = %v, want %v", got, want)
+	}
+}
+
+func TestEigenvaluesCompanion(t *testing.T) {
+	// Companion matrix of (x−1)(x−2)(x−3) = x³ − 6x² + 11x − 6.
+	a := FromRows([][]float64{
+		{6, -11, 6},
+		{1, 0, 0},
+		{0, 1, 0},
+	})
+	got, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eigClose(got, []complex128{1, 2, 3}, 1e-8) {
+		t.Fatalf("eig = %v, want 1,2,3", got)
+	}
+}
+
+func TestEigenvaluesRepeated(t *testing.T) {
+	// Jordan-like block with repeated eigenvalue 2.
+	a := FromRows([][]float64{{2, 1}, {0, 2}})
+	got, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eigClose(got, []complex128{2, 2}, 1e-7) {
+		t.Fatalf("eig = %v, want 2,2", got)
+	}
+}
+
+func TestSpectralRadius(t *testing.T) {
+	a := FromRows([][]float64{{0.5, -0.8}, {0.8, 0.5}})
+	r, err := SpectralRadius(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Hypot(0.5, 0.8)
+	if math.Abs(r-want) > 1e-10 {
+		t.Fatalf("SpectralRadius = %g, want %g", r, want)
+	}
+}
+
+func TestIsSchurStable(t *testing.T) {
+	stable := FromRows([][]float64{{0.3, 0.1}, {0, 0.9}})
+	unstable := FromRows([][]float64{{1.01, 0}, {0, 0.2}})
+	if ok, err := IsSchurStable(stable); err != nil || !ok {
+		t.Fatalf("stable matrix reported unstable (err=%v)", err)
+	}
+	if ok, err := IsSchurStable(unstable); err != nil || ok {
+		t.Fatalf("unstable matrix reported stable (err=%v)", err)
+	}
+}
+
+func TestEigenvaluesEmpty(t *testing.T) {
+	got, err := Eigenvalues(New(0, 0))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty matrix: got %v, %v", got, err)
+	}
+}
+
+func TestEigenvalues1x1(t *testing.T) {
+	got, err := Eigenvalues(FromRows([][]float64{{-4.2}}))
+	if err != nil || len(got) != 1 || cmplx.Abs(got[0]-(-4.2)) > 1e-14 {
+		t.Fatalf("1×1: got %v, %v", got, err)
+	}
+}
+
+// Property: the sum of eigenvalues equals the trace and the product equals
+// the determinant, for random matrices.
+func TestPropEigTraceDet(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		a := randomMatrix(r, n)
+		eigs, err := Eigenvalues(a)
+		if err != nil {
+			return false
+		}
+		var sum, prod complex128 = 0, 1
+		for _, l := range eigs {
+			sum += l
+			prod *= l
+		}
+		tr := 0.0
+		for i := 0; i < n; i++ {
+			tr += a.At(i, i)
+		}
+		det := Det(a)
+		scale := math.Max(1, math.Abs(det))
+		return cmplx.Abs(sum-complex(tr, 0)) < 1e-7 &&
+			cmplx.Abs(prod-complex(det, 0)) < 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: eigenvalues of a similarity transform are unchanged.
+func TestPropEigSimilarity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(3)
+		a := randomMatrix(r, n)
+		p := randomMatrix(r, n).Add(Identity(n).Scale(float64(n) + 2))
+		pinv, err := Inverse(p)
+		if err != nil {
+			return true // skip singular transforms
+		}
+		if p.Norm1()*pinv.Norm1() > 50 {
+			return true // skip ill-conditioned transforms
+		}
+		b := p.Mul(a).Mul(pinv)
+		ea, err1 := Eigenvalues(a)
+		eb, err2 := Eigenvalues(b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return eigClose(ea, eb, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// padé [6/6] numerator coefficients for exp(x); the denominator uses the
+// same magnitudes with alternating signs.
+var padeCoeff = [...]float64{
+	1,
+	1.0 / 2,
+	5.0 / 44,
+	1.0 / 66,
+	1.0 / 792,
+	1.0 / 15840,
+	1.0 / 665280,
+}
+
+// Expm returns the matrix exponential e^A computed with a [6/6] Padé
+// approximant and scaling-and-squaring. A must be square.
+func Expm(a *Matrix) (*Matrix, error) {
+	a.mustSquare("Expm")
+	n := a.rows
+	if n == 0 {
+		return New(0, 0), nil
+	}
+	// Scale so that ‖A/2^s‖₁ ≤ 1/2.
+	norm := a.Norm1()
+	s := 0
+	if norm > 0.5 {
+		s = int(math.Ceil(math.Log2(norm / 0.5)))
+	}
+	if s > 64 {
+		return nil, fmt.Errorf("mat: Expm norm %g too large to scale", norm)
+	}
+	as := a.Scale(math.Pow(2, -float64(s)))
+
+	// Evaluate the Padé numerator N and denominator D by Horner powers.
+	num := Identity(n).Scale(padeCoeff[0])
+	den := Identity(n).Scale(padeCoeff[0])
+	pow := Identity(n)
+	sign := 1.0
+	for k := 1; k < len(padeCoeff); k++ {
+		pow = pow.Mul(as)
+		sign = -sign
+		term := pow.Scale(padeCoeff[k])
+		num = num.Add(term)
+		if sign < 0 {
+			den = den.Sub(term)
+		} else {
+			den = den.Add(term)
+		}
+	}
+	e, err := Solve(den, num)
+	if err != nil {
+		return nil, fmt.Errorf("mat: Expm Padé solve: %w", err)
+	}
+	for i := 0; i < s; i++ {
+		e = e.Mul(e)
+	}
+	return e, nil
+}
+
+// ExpmIntegral returns, for the pair (A ∈ ℝⁿˣⁿ, B ∈ ℝⁿˣᵐ) and t ≥ 0, both
+//
+//	Φ(t) = e^{At}   and   Γ(t) = ∫₀ᵗ e^{As} ds · B,
+//
+// using the block-matrix identity
+//
+//	exp([A B; 0 0]·t) = [Φ(t) Γ(t); 0 I].
+//
+// This is the standard tool for discretising continuous-time LTI systems.
+func ExpmIntegral(a, b *Matrix, t float64) (phi, gamma *Matrix, err error) {
+	a.mustSquare("ExpmIntegral")
+	if b.rows != a.rows {
+		return nil, nil, fmt.Errorf("mat: ExpmIntegral B has %d rows, want %d", b.rows, a.rows)
+	}
+	if t < 0 {
+		return nil, nil, fmt.Errorf("mat: ExpmIntegral negative time %g", t)
+	}
+	n, m := a.rows, b.cols
+	blk := Block([][]*Matrix{
+		{a.Scale(t), b.Scale(t)},
+		{New(m, n), New(m, m)},
+	})
+	e, err := Expm(blk)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.Slice(0, n, 0, n), e.Slice(0, n, n, n+m), nil
+}

@@ -1,0 +1,175 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpmZero(t *testing.T) {
+	e, err := Expm(New(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.EqualTol(Identity(3), 1e-15) {
+		t.Fatalf("exp(0) = %v, want I", e)
+	}
+}
+
+func TestExpmDiagonal(t *testing.T) {
+	e, err := Expm(Diag(1, -2, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Diag(math.E, math.Exp(-2), math.Exp(0.5))
+	if !e.EqualTol(want, 1e-12) {
+		t.Fatalf("exp(diag) = %v, want %v", e, want)
+	}
+}
+
+func TestExpmNilpotent(t *testing.T) {
+	// exp([[0 1],[0 0]]) = [[1 1],[0 1]] exactly.
+	a := FromRows([][]float64{{0, 1}, {0, 0}})
+	e, err := Expm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromRows([][]float64{{1, 1}, {0, 1}})
+	if !e.EqualTol(want, 1e-14) {
+		t.Fatalf("exp(nilpotent) = %v", e)
+	}
+}
+
+func TestExpmRotation(t *testing.T) {
+	// exp(θ·[[0 −1],[1 0]]) = rotation by θ.
+	theta := 1.3
+	a := FromRows([][]float64{{0, -theta}, {theta, 0}})
+	e, err := Expm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromRows([][]float64{
+		{math.Cos(theta), -math.Sin(theta)},
+		{math.Sin(theta), math.Cos(theta)},
+	})
+	if !e.EqualTol(want, 1e-12) {
+		t.Fatalf("exp(rotation) = %v, want %v", e, want)
+	}
+}
+
+func TestExpmLargeNormScaling(t *testing.T) {
+	a := Diag(-50, -80)
+	e, err := Expm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.At(0, 0)-math.Exp(-50)) > 1e-25 || math.Abs(e.At(1, 1)-math.Exp(-80)) > 1e-30 {
+		t.Fatalf("exp(large diag) = %v", e)
+	}
+}
+
+// Property: exp(A)·exp(−A) = I.
+func TestPropExpmInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(4)
+		a := randomMatrix(r, n)
+		ea, err1 := Expm(a)
+		ena, err2 := Expm(a.Scale(-1))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ea.Mul(ena).EqualTol(Identity(n), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: exp(2A) = exp(A)².
+func TestPropExpmDouble(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(4)
+		a := randomMatrix(r, n)
+		e2a, err1 := Expm(a.Scale(2))
+		ea, err2 := Expm(a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return e2a.EqualTol(ea.Mul(ea), 1e-7*math.Max(1, e2a.NormInf()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpmIntegralConstantA(t *testing.T) {
+	// With A = 0: Φ = I, Γ = t·B.
+	b := ColVec(2, -1)
+	phi, gamma, err := ExpmIntegral(New(2, 2), b, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !phi.EqualTol(Identity(2), 1e-13) {
+		t.Fatalf("phi = %v, want I", phi)
+	}
+	if !gamma.EqualTol(b.Scale(0.5), 1e-13) {
+		t.Fatalf("gamma = %v, want 0.5·B", gamma)
+	}
+}
+
+func TestExpmIntegralScalar(t *testing.T) {
+	// ẋ = a·x + b·u with a = −2, b = 3, t = 0.7:
+	// Φ = e^{at}, Γ = b·(e^{at}−1)/a.
+	a := FromRows([][]float64{{-2}})
+	b := FromRows([][]float64{{3}})
+	tt := 0.7
+	phi, gamma, err := ExpmIntegral(a, b, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPhi := math.Exp(-2 * tt)
+	wantGamma := 3 * (math.Exp(-2*tt) - 1) / -2
+	if math.Abs(phi.At(0, 0)-wantPhi) > 1e-12 {
+		t.Fatalf("phi = %g, want %g", phi.At(0, 0), wantPhi)
+	}
+	if math.Abs(gamma.At(0, 0)-wantGamma) > 1e-12 {
+		t.Fatalf("gamma = %g, want %g", gamma.At(0, 0), wantGamma)
+	}
+}
+
+func TestExpmIntegralNegativeTime(t *testing.T) {
+	_, _, err := ExpmIntegral(Identity(2), ColVec(1, 0), -1)
+	if err == nil {
+		t.Fatal("want error for negative time")
+	}
+}
+
+// Property: Γ(t1+t2) = Φ(t2)·Γ(t1) + Γ(t2) (semigroup property of the
+// forced response), which underpins the delayed-input discretisation.
+func TestPropExpmIntegralSemigroup(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(3)
+		a := randomMatrix(r, n)
+		b := New(n, 1)
+		for i := 0; i < n; i++ {
+			b.Set(i, 0, r.NormFloat64())
+		}
+		t1 := 0.1 + 0.4*r.Float64()
+		t2 := 0.1 + 0.4*r.Float64()
+		phi2, gam2, err1 := ExpmIntegral(a, b, t2)
+		_, gam1, err2 := ExpmIntegral(a, b, t1)
+		_, gam12, err3 := ExpmIntegral(a, b, t1+t2)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		combined := phi2.Mul(gam1).Add(gam2)
+		return combined.EqualTol(gam12, 1e-8*math.Max(1, gam12.NormInf()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

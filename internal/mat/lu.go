@@ -1,0 +1,153 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear solve encounters a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("mat: matrix is singular to working precision")
+
+// lu holds an LU factorisation with partial pivoting: P·A = L·U.
+type lu struct {
+	n    int
+	fact *Matrix // packed L (unit diagonal, below) and U (on/above diagonal)
+	piv  []int   // row permutation
+}
+
+// factorLU computes the LU factorisation of a square matrix.
+func factorLU(a *Matrix) (*lu, error) {
+	a.mustSquare("factorLU")
+	n := a.rows
+	f := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivoting: find the largest entry in column k at/below row k.
+		p, maxv := k, math.Abs(f.data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(f.data[i*n+k]); v > maxv {
+				p, maxv = i, v
+			}
+		}
+		if maxv == 0 {
+			return nil, fmt.Errorf("%w (pivot column %d)", ErrSingular, k)
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				f.data[k*n+j], f.data[p*n+j] = f.data[p*n+j], f.data[k*n+j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+		}
+		pivVal := f.data[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := f.data[i*n+k] / pivVal
+			f.data[i*n+k] = l
+			for j := k + 1; j < n; j++ {
+				f.data[i*n+j] -= l * f.data[k*n+j]
+			}
+		}
+	}
+	return &lu{n: n, fact: f, piv: piv}, nil
+}
+
+// solveVec solves A·x = b for one right-hand side.
+func (f *lu) solveVec(b []float64) []float64 {
+	n := f.n
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit-lower L.
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= f.fact.data[i*n+j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.fact.data[i*n+j] * x[j]
+		}
+		x[i] = s / f.fact.data[i*n+i]
+	}
+	return x
+}
+
+// Solve returns X such that A·X = B. A must be square and non-singular.
+func Solve(a, b *Matrix) (*Matrix, error) {
+	if a.rows != b.rows {
+		return nil, fmt.Errorf("mat: Solve shape mismatch %d×%d · X = %d×%d", a.rows, a.cols, b.rows, b.cols)
+	}
+	f, err := factorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	out := New(b.rows, b.cols)
+	col := make([]float64, b.rows)
+	for j := 0; j < b.cols; j++ {
+		for i := 0; i < b.rows; i++ {
+			col[i] = b.data[i*b.cols+j]
+		}
+		x := f.solveVec(col)
+		for i := 0; i < b.rows; i++ {
+			out.data[i*b.cols+j] = x[i]
+		}
+	}
+	return out, nil
+}
+
+// SolveVec solves A·x = b for a single right-hand-side vector.
+func SolveVec(a *Matrix, b []float64) ([]float64, error) {
+	if a.rows != len(b) {
+		return nil, fmt.Errorf("mat: SolveVec shape mismatch %d×%d · x = %d", a.rows, a.cols, len(b))
+	}
+	f, err := factorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.solveVec(b), nil
+}
+
+// Inverse returns A⁻¹.
+func Inverse(a *Matrix) (*Matrix, error) {
+	return Solve(a, Identity(a.rows))
+}
+
+// Det returns the determinant of a square matrix (product of U diagonal with
+// permutation sign). Returns 0 for singular matrices.
+func Det(a *Matrix) float64 {
+	a.mustSquare("Det")
+	f, err := factorLU(a)
+	if err != nil {
+		return 0
+	}
+	det := 1.0
+	for i := 0; i < f.n; i++ {
+		det *= f.fact.data[i*f.n+i]
+	}
+	// Sign of the permutation.
+	seen := make([]bool, f.n)
+	for i := 0; i < f.n; i++ {
+		if seen[i] {
+			continue
+		}
+		// Each cycle of length L contributes (−1)^{L−1}.
+		l := 0
+		for j := i; !seen[j]; j = f.piv[j] {
+			seen[j] = true
+			l++
+		}
+		if l%2 == 0 {
+			det = -det
+		}
+	}
+	return det
+}

@@ -1,0 +1,108 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKnown(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveVec(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x + y = 5, x + 3y = 10 → x = 1, y = 3.
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("SolveVec = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveRequiresPivoting(t *testing.T) {
+	// Zero in the (0,0) position forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := SolveVec(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("SolveVec = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	_, err := SolveVec(a, []float64{1, 2})
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := FromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mul(inv).EqualTol(Identity(2), 1e-12) {
+		t.Fatalf("A·A⁻¹ != I: %v", a.Mul(inv))
+	}
+}
+
+func TestDet(t *testing.T) {
+	cases := []struct {
+		m    *Matrix
+		want float64
+	}{
+		{FromRows([][]float64{{2}}), 2},
+		{FromRows([][]float64{{1, 2}, {3, 4}}), -2},
+		{FromRows([][]float64{{0, 1}, {1, 0}}), -1},
+		{Identity(4), 1},
+		{FromRows([][]float64{{1, 2}, {2, 4}}), 0},
+	}
+	for i, c := range cases {
+		if got := Det(c.m); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: Det = %g, want %g", i, got, c.want)
+		}
+	}
+}
+
+// Property: Solve(A, b) satisfies A·x ≈ b for random well-conditioned A.
+func TestPropSolveResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		a := randomMatrix(r, n).Add(Identity(n).Scale(float64(n) + 1)) // diagonally dominant-ish
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := SolveVec(a, b)
+		if err != nil {
+			return false
+		}
+		res := VecSub(a.MulVec(x), b)
+		return VecNorm2(res) < 1e-9*(1+VecNorm2(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Det(A·B) = Det(A)·Det(B).
+func TestPropDetMultiplicative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(4)
+		a, b := randomMatrix(r, n), randomMatrix(r, n)
+		got := Det(a.Mul(b))
+		want := Det(a) * Det(b)
+		scale := math.Max(1, math.Abs(want))
+		return math.Abs(got-want) < 1e-8*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

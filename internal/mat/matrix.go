@@ -1,0 +1,417 @@
+// Package mat provides the small dense linear-algebra kernel used by the
+// control-design and simulation layers: matrix arithmetic, LU-based solves,
+// eigenvalues via Hessenberg QR iteration, and the Padé matrix exponential.
+//
+// The package is deliberately minimal and dependency-free; matrices in this
+// repository are tiny (plant orders 2–4, augmented orders up to ~6), so
+// clarity and numerical robustness are favoured over asymptotic performance.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense, row-major matrix of float64.
+// The zero value is an empty (0×0) matrix.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns a zeroed r×c matrix.
+func New(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %d×%d", r, c))
+	}
+	return &Matrix{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from a slice of equally long rows.
+func FromRows(rows [][]float64) *Matrix {
+	r := len(rows)
+	if r == 0 {
+		return New(0, 0)
+	}
+	c := len(rows[0])
+	m := New(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("mat: ragged rows: row %d has %d entries, want %d", i, len(row), c))
+		}
+		copy(m.data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Diag returns a square matrix with d on the main diagonal.
+func Diag(d ...float64) *Matrix {
+	n := len(d)
+	m := New(n, n)
+	for i, v := range d {
+		m.data[i*n+i] = v
+	}
+	return m
+}
+
+// ColVec returns an n×1 column vector with the given entries.
+func ColVec(v ...float64) *Matrix {
+	m := New(len(v), 1)
+	copy(m.data, v)
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range %d×%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of range %d", i, m.rows))
+	}
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: col %d out of range %d", j, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := range out {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// Add returns m + b.
+func (m *Matrix) Add(b *Matrix) *Matrix {
+	m.sameShape(b, "Add")
+	out := m.Clone()
+	for i, v := range b.data {
+		out.data[i] += v
+	}
+	return out
+}
+
+// Sub returns m − b.
+func (m *Matrix) Sub(b *Matrix) *Matrix {
+	m.sameShape(b, "Sub")
+	out := m.Clone()
+	for i, v := range b.data {
+		out.data[i] -= v
+	}
+	return out
+}
+
+// Scale returns s·m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] *= s
+	}
+	return out
+}
+
+func (m *Matrix) sameShape(b *Matrix, op string) {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic(fmt.Sprintf("mat: %s shape mismatch %d×%d vs %d×%d", op, m.rows, m.cols, b.rows, b.cols))
+	}
+}
+
+// Mul returns the matrix product m·b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul shape mismatch %d×%d · %d×%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	out := New(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.data[i*m.cols+k]
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.cols; j++ {
+				out.data[i*b.cols+j] += a * b.data[k*b.cols+j]
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix–vector product m·v.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if m.cols != len(v) {
+		panic(fmt.Sprintf("mat: MulVec shape mismatch %d×%d · %d", m.rows, m.cols, len(v)))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		s := 0.0
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, a := range row {
+			s += a * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// T returns the transpose of m.
+func (m *Matrix) T() *Matrix {
+	out := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*m.rows+i] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}
+
+// Pow returns m^k for k ≥ 0 via repeated squaring. m must be square.
+func (m *Matrix) Pow(k int) *Matrix {
+	m.mustSquare("Pow")
+	if k < 0 {
+		panic("mat: Pow negative exponent")
+	}
+	result := Identity(m.rows)
+	base := m.Clone()
+	for k > 0 {
+		if k&1 == 1 {
+			result = result.Mul(base)
+		}
+		base = base.Mul(base)
+		k >>= 1
+	}
+	return result
+}
+
+func (m *Matrix) mustSquare(op string) {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("mat: %s requires square matrix, got %d×%d", op, m.rows, m.cols))
+	}
+}
+
+// Norm1 returns the maximum absolute column sum.
+func (m *Matrix) Norm1() float64 {
+	max := 0.0
+	for j := 0; j < m.cols; j++ {
+		s := 0.0
+		for i := 0; i < m.rows; i++ {
+			s += math.Abs(m.data[i*m.cols+j])
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// NormInf returns the maximum absolute row sum.
+func (m *Matrix) NormInf() float64 {
+	max := 0.0
+	for i := 0; i < m.rows; i++ {
+		s := 0.0
+		for j := 0; j < m.cols; j++ {
+			s += math.Abs(m.data[i*m.cols+j])
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// NormFrob returns the Frobenius norm.
+func (m *Matrix) NormFrob() float64 {
+	s := 0.0
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns max |m_ij − b_ij|; useful in tests.
+func (m *Matrix) MaxAbsDiff(b *Matrix) float64 {
+	m.sameShape(b, "MaxAbsDiff")
+	max := 0.0
+	for i, v := range m.data {
+		d := math.Abs(v - b.data[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// EqualTol reports whether all entries of m and b agree within tol.
+func (m *Matrix) EqualTol(b *Matrix, tol float64) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	return m.MaxAbsDiff(b) <= tol
+}
+
+// Slice returns the sub-matrix m[r0:r1, c0:c1] (half-open ranges) as a copy.
+func (m *Matrix) Slice(r0, r1, c0, c1 int) *Matrix {
+	if r0 < 0 || r1 > m.rows || c0 < 0 || c1 > m.cols || r0 > r1 || c0 > c1 {
+		panic(fmt.Sprintf("mat: Slice [%d:%d,%d:%d] out of range %d×%d", r0, r1, c0, c1, m.rows, m.cols))
+	}
+	out := New(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(out.data[(i-r0)*out.cols:(i-r0+1)*out.cols], m.data[i*m.cols+c0:i*m.cols+c1])
+	}
+	return out
+}
+
+// SetSubmatrix copies src into m starting at (r0, c0).
+func (m *Matrix) SetSubmatrix(r0, c0 int, src *Matrix) {
+	if r0+src.rows > m.rows || c0+src.cols > m.cols || r0 < 0 || c0 < 0 {
+		panic(fmt.Sprintf("mat: SetSubmatrix %d×%d at (%d,%d) exceeds %d×%d",
+			src.rows, src.cols, r0, c0, m.rows, m.cols))
+	}
+	for i := 0; i < src.rows; i++ {
+		copy(m.data[(r0+i)*m.cols+c0:(r0+i)*m.cols+c0+src.cols], src.data[i*src.cols:(i+1)*src.cols])
+	}
+}
+
+// Block assembles a matrix from a 2-D grid of blocks. All blocks in a grid
+// row must share a height; all blocks in a grid column must share a width.
+func Block(blocks [][]*Matrix) *Matrix {
+	if len(blocks) == 0 {
+		return New(0, 0)
+	}
+	rowHeights := make([]int, len(blocks))
+	colWidths := make([]int, len(blocks[0]))
+	for i, row := range blocks {
+		if len(row) != len(colWidths) {
+			panic("mat: Block ragged block grid")
+		}
+		rowHeights[i] = row[0].rows
+		for j, b := range row {
+			if b.rows != rowHeights[i] {
+				panic(fmt.Sprintf("mat: Block row %d height mismatch", i))
+			}
+			if i == 0 {
+				colWidths[j] = b.cols
+			} else if b.cols != colWidths[j] {
+				panic(fmt.Sprintf("mat: Block col %d width mismatch", j))
+			}
+		}
+	}
+	total := func(xs []int) int {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	out := New(total(rowHeights), total(colWidths))
+	r0 := 0
+	for i, row := range blocks {
+		c0 := 0
+		for j, b := range row {
+			out.SetSubmatrix(r0, c0, b)
+			c0 += colWidths[j]
+		}
+		r0 += rowHeights[i]
+	}
+	return out
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.rows; i++ {
+		sb.WriteString("[")
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteString(" ")
+			}
+			fmt.Fprintf(&sb, "%11.5g", m.data[i*m.cols+j])
+		}
+		sb.WriteString("]\n")
+	}
+	return sb.String()
+}
+
+// VecNorm2 returns the Euclidean norm of v.
+func VecNorm2(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// VecAdd returns a + b.
+func VecAdd(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("mat: VecAdd length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// VecSub returns a − b.
+func VecSub(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("mat: VecSub length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// VecScale returns s·v.
+func VecScale(s float64, v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i := range v {
+		out[i] = s * v[i]
+	}
+	return out
+}

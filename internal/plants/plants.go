@@ -1,0 +1,150 @@
+// Package plants is a library of continuous-time automotive plant models
+// used by the examples and the case study. All models are linear (or
+// linearised) state-space systems with physically motivated parameters.
+//
+// The Servo model reproduces the paper's Fig. 2 experimental setup: a servo
+// motor whose shaft carries a rigid stick with a 300 g weight at the end,
+// balanced upright (inverted-pendulum configuration) — the plant on which
+// the paper measured the non-monotonic dwell/wait relation of Fig. 3.
+package plants
+
+import (
+	"cpsdyn/internal/lti"
+	"cpsdyn/internal/mat"
+)
+
+// Gravity in m/s².
+const Gravity = 9.81
+
+// Servo returns the Fig.-2 servo: a rigid stick of length l with a point
+// mass m at the end, driven by motor torque u and balanced upright.
+// Linearised about θ = 0 (upright):
+//
+//	J·θ̈ = m·g·l·θ − c·θ̇ + u,  J = m·l²
+//
+// State [θ (rad), θ̇ (rad/s)], input torque (N·m).
+func Servo() *lti.Continuous {
+	const (
+		m = 0.3  // kg, the paper's 300 g load
+		l = 0.25 // m, stick length (not given in the paper)
+		c = 0.02 // N·m·s, viscous friction at the shaft
+	)
+	j := m * l * l
+	return &lti.Continuous{
+		Name: "servo-inverted-pendulum",
+		A: mat.FromRows([][]float64{
+			{0, 1},
+			{m * Gravity * l / j, -c / j},
+		}),
+		B: mat.ColVec(0, 1/j),
+	}
+}
+
+// DCMotorPosition returns a DC-motor position servo (e.g. electronic
+// throttle positioning). State [angle (rad), speed (rad/s)], input voltage.
+//
+//	θ̈ = −(b/J)·θ̇ + (Kt/J)·v
+func DCMotorPosition() *lti.Continuous {
+	const (
+		j  = 0.01 // kg·m², rotor inertia
+		b  = 0.1  // N·m·s, viscous damping
+		kt = 0.05 // N·m/V, effective torque constant
+	)
+	return &lti.Continuous{
+		Name: "dc-motor-position",
+		A: mat.FromRows([][]float64{
+			{0, 1},
+			{0, -b / j},
+		}),
+		B: mat.ColVec(0, kt/j),
+	}
+}
+
+// CruiseControl returns longitudinal speed dynamics with a first-order
+// engine lag. State [speed error (m/s), accel (m/s²)], input demanded
+// acceleration.
+func CruiseControl() *lti.Continuous {
+	const (
+		tau  = 0.5  // s, drivetrain lag
+		drag = 0.05 // 1/s, linearised aero drag
+	)
+	return &lti.Continuous{
+		Name: "cruise-control",
+		A: mat.FromRows([][]float64{
+			{-drag, 1},
+			{0, -1 / tau},
+		}),
+		B: mat.ColVec(0, 1/tau),
+	}
+}
+
+// Suspension returns a quarter-car active-suspension sprung-mass model.
+// State [deflection (m), velocity (m/s)], input actuator force (kN per
+// sprung mass).
+//
+//	m·ẍ = −k·x − c·ẋ + u
+func Suspension() *lti.Continuous {
+	const (
+		m = 300.0   // kg sprung mass (quarter car)
+		k = 16000.0 // N/m spring
+		c = 1000.0  // N·s/m damper
+	)
+	return &lti.Continuous{
+		Name: "quarter-car-suspension",
+		A: mat.FromRows([][]float64{
+			{0, 1},
+			{-k / m, -c / m},
+		}),
+		B: mat.ColVec(0, 1000/m), // input in kN
+	}
+}
+
+// LaneKeeping returns simplified lateral dynamics for a lane-keeping
+// assistant at constant speed. State [lateral offset (m), lateral velocity
+// (m/s)], input scaled steering command.
+func LaneKeeping() *lti.Continuous {
+	const (
+		v    = 20.0 // m/s vehicle speed
+		gain = 1.2  // lateral authority
+		damp = 0.8  // yaw-aligned damping
+	)
+	return &lti.Continuous{
+		Name: "lane-keeping",
+		A: mat.FromRows([][]float64{
+			{0, 1},
+			{0, -damp},
+		}),
+		B: mat.ColVec(0, gain*v/20),
+	}
+}
+
+// Throttle returns an electronic throttle plate model with a return spring
+// (limp-home nonlinearity ignored). State [plate angle (rad), angular rate
+// (rad/s)], input motor torque.
+func Throttle() *lti.Continuous {
+	const (
+		j = 0.002 // kg·m²
+		k = 0.4   // N·m/rad return spring
+		c = 0.03  // N·m·s friction
+	)
+	return &lti.Continuous{
+		Name: "electronic-throttle",
+		A: mat.FromRows([][]float64{
+			{0, 1},
+			{-k / j, -c / j},
+		}),
+		B: mat.ColVec(0, 1/j),
+	}
+}
+
+// All returns the full library keyed by a short identifier.
+func All() map[string]*lti.Continuous {
+	return map[string]*lti.Continuous{
+		"servo":      Servo(),
+		"dcmotor":    DCMotorPosition(),
+		"cruise":     CruiseControl(),
+		"suspension": Suspension(),
+		"lane":       LaneKeeping(),
+		"throttle":   Throttle(),
+	}
+}

@@ -1,0 +1,63 @@
+package plants
+
+import (
+	"testing"
+
+	"cpsdyn/internal/mat"
+)
+
+func TestAllPlantsValid(t *testing.T) {
+	for name, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if p.Order() != 2 {
+			t.Errorf("%s: order %d, want 2", name, p.Order())
+		}
+		if p.Inputs() != 1 {
+			t.Errorf("%s: %d inputs, want 1", name, p.Inputs())
+		}
+	}
+}
+
+func TestServoIsOpenLoopUnstable(t *testing.T) {
+	// The inverted pendulum must have a right-half-plane eigenvalue; that
+	// instability is what makes the ET transient hump pronounced.
+	eigs, err := mat.Eigenvalues(Servo().A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unstable := false
+	for _, l := range eigs {
+		if real(l) > 0 {
+			unstable = true
+		}
+	}
+	if !unstable {
+		t.Fatal("servo (inverted pendulum) should be open-loop unstable")
+	}
+}
+
+func TestStablePlantsAreStable(t *testing.T) {
+	for _, name := range []string{"suspension", "throttle", "cruise"} {
+		p := All()[name]
+		eigs, err := mat.Eigenvalues(p.A)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, l := range eigs {
+			if real(l) > 1e-9 {
+				t.Errorf("%s: open-loop eigenvalue %v in RHP", name, l)
+			}
+		}
+	}
+}
+
+func TestAllReturnsFreshInstances(t *testing.T) {
+	a := All()["servo"]
+	b := All()["servo"]
+	a.A.Set(0, 0, 999)
+	if b.A.At(0, 0) == 999 {
+		t.Fatal("All must return independent copies")
+	}
+}

@@ -1,0 +1,288 @@
+package pwl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// FitNonMonotonic fits the paper's two-segment model to a sampled dwell
+// curve so that the model dominates every sample:
+//
+//   - segment 1 rises from (0, ξTT) with the steepest slope any sample in
+//     the rising phase requires;
+//   - segment 2 is the minimal-area dominating non-increasing line (the
+//     same line FitConservative selects).
+//
+// The model is the pointwise minimum of the two lines, so its peak (kp, ξM)
+// is their intersection and ξM ≤ ξ′M always holds. Samples must be sorted
+// by Wait; the first sample defines ξTT (wait 0) and xiET is the pure-ET
+// response time (for kwait ≥ ξET the protocol never takes the slot, so the
+// modelled dwell there is 0 regardless of the line values).
+func FitNonMonotonic(samples []Point, xiET float64) (*Model, error) {
+	if err := checkSamples(samples, xiET); err != nil {
+		return nil, err
+	}
+	xiTT := samples[0].Dwell
+
+	// Peak of the sampled curve.
+	peakIdx := 0
+	for i, s := range samples {
+		if s.Dwell > samples[peakIdx].Dwell {
+			peakIdx = i
+		}
+	}
+
+	// Rising line L1(x) = ξTT + s1·x must dominate all samples with
+	// Wait ≤ peakWait. Since s1 ≥ (peak−ξTT)/peakWait ≥ 0, L1 also dominates
+	// everything after the peak (it keeps growing past the maximum sample).
+	s1 := 0.0
+	for _, s := range samples[:peakIdx+1] {
+		if s.Wait <= 0 {
+			continue
+		}
+		if sl := (s.Dwell - xiTT) / s.Wait; sl > s1 {
+			s1 = sl
+		}
+	}
+	rise := line{slope: s1, intercept: xiTT}
+	fall := bestFallingLine(samples, xiET)
+	bps := envelopeBreakpoints([]line{rise, fall}, 0, xiET)
+	return NewModel("non-monotonic", bps)
+}
+
+// FitConservative fits the paper's conservative monotonic model to samples:
+// the single non-increasing line that dominates every sample with the least
+// area over [0, ξET]. Its value at wait 0 is the measured ξ′M.
+func FitConservative(samples []Point, xiET float64) (*Model, error) {
+	if err := checkSamples(samples, xiET); err != nil {
+		return nil, err
+	}
+	l := bestFallingLine(samples, xiET)
+	bps := envelopeBreakpoints([]line{l}, 0, xiET)
+	return NewModel("conservative", bps)
+}
+
+// bestFallingLine returns the non-increasing line with minimal area over
+// [0, ξET] (clamped at 0) that dominates every sample. Candidates are the
+// supporting lines of the upper concave hull with slope ≤ 0 (each dominates
+// the whole chain, hence all samples) plus the flat line at the sample peak
+// (always a valid fallback).
+func bestFallingLine(samples []Point, xiET float64) line {
+	peak := 0.0
+	for _, s := range samples {
+		if s.Dwell > peak {
+			peak = s.Dwell
+		}
+	}
+	best := line{slope: 0, intercept: peak}
+	bestArea := envelopeArea([]line{best}, 0, xiET)
+	pts := append([]Point(nil), samples...)
+	if pts[len(pts)-1].Wait < xiET {
+		pts = append(pts, Point{xiET, 0})
+	}
+	for _, l := range hullLines(upperConcaveHull(pts)) {
+		if l.slope > 0 {
+			continue
+		}
+		if a := envelopeArea([]line{l}, 0, xiET); a < bestArea {
+			best, bestArea = l, a
+		}
+	}
+	return best
+}
+
+// FitHull fits a dominating model with at most maxSegments segments built
+// from the upper concave hull of the samples (the paper's "three or more
+// piecewise linear curves" refinement). The hull chain itself dominates the
+// samples; reducing the segment count keeps only a subset of the hull's
+// supporting lines, and a pointwise minimum of supporting lines still
+// dominates. maxSegments ≥ 2.
+func FitHull(samples []Point, xiET float64, maxSegments int) (*Model, error) {
+	if err := checkSamples(samples, xiET); err != nil {
+		return nil, err
+	}
+	if maxSegments < 2 {
+		return nil, fmt.Errorf("pwl: FitHull needs maxSegments ≥ 2, got %d", maxSegments)
+	}
+	pts := make([]Point, 0, len(samples)+1)
+	pts = append(pts, samples...)
+	// Anchor the endpoint (ξET, 0).
+	if pts[len(pts)-1].Wait < xiET {
+		pts = append(pts, Point{xiET, 0})
+	}
+	hull := upperConcaveHull(pts)
+	lines := hullLines(hull)
+	// Greedily remove the line whose removal adds the least area under the
+	// min-envelope until few enough remain. Removing a line can only RAISE
+	// the envelope, so dominance over the samples is preserved. The line
+	// that achieves the minimum at ξET (the final hull segment, which passes
+	// through (ξET, 0)) is protected so the model still reaches 0 there.
+	anchor := argminAt(lines, xiET)
+	for len(lines) > maxSegments {
+		bestIdx, bestArea := -1, math.Inf(1)
+		for i := range lines {
+			if i == anchor {
+				continue
+			}
+			cand := make([]line, 0, len(lines)-1)
+			cand = append(cand, lines[:i]...)
+			cand = append(cand, lines[i+1:]...)
+			a := envelopeArea(cand, 0, xiET)
+			if a < bestArea {
+				bestIdx, bestArea = i, a
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		lines = append(lines[:bestIdx], lines[bestIdx+1:]...)
+		if bestIdx < anchor {
+			anchor--
+		}
+	}
+	bps := envelopeBreakpoints(lines, 0, xiET)
+	kind := fmt.Sprintf("hull-%d", len(bps)-1)
+	return NewModel(kind, bps)
+}
+
+func checkSamples(samples []Point, xiET float64) error {
+	if len(samples) < 2 {
+		return fmt.Errorf("pwl: need at least 2 samples, got %d", len(samples))
+	}
+	if samples[0].Wait != 0 {
+		return fmt.Errorf("pwl: first sample must be at wait 0, got %g", samples[0].Wait)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Wait <= samples[i-1].Wait {
+			return fmt.Errorf("pwl: sample waits must strictly increase")
+		}
+	}
+	if xiET <= samples[0].Wait {
+		return fmt.Errorf("pwl: ξET (%g) must exceed the first sample wait", xiET)
+	}
+	for _, s := range samples {
+		if s.Dwell < 0 {
+			return fmt.Errorf("pwl: negative dwell sample (%g, %g)", s.Wait, s.Dwell)
+		}
+	}
+	return nil
+}
+
+// upperConcaveHull returns the upper concave chain of the points
+// (monotone-chain algorithm, keeping only left turns seen from above).
+func upperConcaveHull(pts []Point) []Point {
+	sorted := append([]Point(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Wait != sorted[j].Wait {
+			return sorted[i].Wait < sorted[j].Wait
+		}
+		return sorted[i].Dwell > sorted[j].Dwell
+	})
+	// Deduplicate equal waits keeping the highest dwell.
+	dedup := sorted[:0]
+	for _, p := range sorted {
+		if len(dedup) > 0 && dedup[len(dedup)-1].Wait == p.Wait {
+			continue
+		}
+		dedup = append(dedup, p)
+	}
+	var hull []Point
+	for _, p := range dedup {
+		for len(hull) >= 2 {
+			a, b := hull[len(hull)-2], hull[len(hull)-1]
+			// Keep b only if it is above segment a→p (concave from above).
+			cross := (b.Wait-a.Wait)*(p.Dwell-a.Dwell) - (b.Dwell-a.Dwell)*(p.Wait-a.Wait)
+			if cross >= 0 { // b on or below chord a→p: drop it
+				hull = hull[:len(hull)-1]
+				continue
+			}
+			break
+		}
+		hull = append(hull, p)
+	}
+	return hull
+}
+
+type line struct{ slope, intercept float64 }
+
+func (l line) at(x float64) float64 { return l.intercept + l.slope*x }
+
+func hullLines(hull []Point) []line {
+	if len(hull) == 1 {
+		return []line{{0, hull[0].Dwell}}
+	}
+	lines := make([]line, 0, len(hull)-1)
+	for i := 1; i < len(hull); i++ {
+		a, b := hull[i-1], hull[i]
+		s := (b.Dwell - a.Dwell) / (b.Wait - a.Wait)
+		lines = append(lines, line{slope: s, intercept: a.Dwell - s*a.Wait})
+	}
+	return lines
+}
+
+// envelope evaluates min over lines, clamped at 0.
+func envelope(lines []line, x float64) float64 {
+	v := math.Inf(1)
+	for _, l := range lines {
+		if y := l.at(x); y < v {
+			v = y
+		}
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// envelopeBreakpoints samples the min-of-lines envelope at all pairwise
+// intersections (plus the interval ends) and returns PWL breakpoints.
+func envelopeBreakpoints(lines []line, x0, x1 float64) []Point {
+	xs := []float64{x0, x1}
+	for i := 0; i < len(lines); i++ {
+		for j := i + 1; j < len(lines); j++ {
+			if lines[i].slope == lines[j].slope {
+				continue
+			}
+			x := (lines[j].intercept - lines[i].intercept) / (lines[i].slope - lines[j].slope)
+			if x > x0 && x < x1 {
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	pts := make([]Point, 0, len(xs))
+	for _, x := range xs {
+		if len(pts) > 0 && x-pts[len(pts)-1].Wait < 1e-12 {
+			continue
+		}
+		pts = append(pts, Point{x, envelope(lines, x)})
+	}
+	// Snap numerical dust at x1 (ξET) to an exact 0 endpoint.
+	if pts[len(pts)-1].Dwell < 1e-9 {
+		pts[len(pts)-1].Dwell = 0
+	}
+	return pts
+}
+
+// argminAt returns the index of the line with the smallest value at x.
+func argminAt(lines []line, x float64) int {
+	best, bestVal := 0, math.Inf(1)
+	for i, l := range lines {
+		if v := l.at(x); v < bestVal {
+			best, bestVal = i, v
+		}
+	}
+	return best
+}
+
+// envelopeArea integrates the min-of-lines envelope over [x0, x1] by
+// trapezoid over its breakpoints (exact for piecewise-linear).
+func envelopeArea(lines []line, x0, x1 float64) float64 {
+	bps := envelopeBreakpoints(lines, x0, x1)
+	area := 0.0
+	for i := 1; i < len(bps); i++ {
+		area += (bps[i].Wait - bps[i-1].Wait) * (bps[i].Dwell + bps[i-1].Dwell) / 2
+	}
+	return area
+}

@@ -1,0 +1,189 @@
+package pwl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// humpSamples synthesises a non-monotonic dwell curve similar to Fig. 3:
+// rises from xiTT to a peak, then decays to 0 at xiET.
+func humpSamples(xiTT, peak, peakAt, xiET float64, n int) []Point {
+	pts := make([]Point, 0, n+1)
+	for i := 0; i <= n; i++ {
+		w := xiET * float64(i) / float64(n)
+		var d float64
+		if w <= peakAt {
+			// smooth rise
+			t := w / peakAt
+			d = xiTT + (peak-xiTT)*math.Sin(t*math.Pi/2)
+		} else {
+			t := (w - peakAt) / (xiET - peakAt)
+			d = peak * (1 - t) * (1 - 0.3*t)
+		}
+		if d < 0 {
+			d = 0
+		}
+		pts = append(pts, Point{w, d})
+	}
+	pts[len(pts)-1].Dwell = 0
+	return pts
+}
+
+func TestFitNonMonotonicDominates(t *testing.T) {
+	samples := humpSamples(0.68, 1.05, 0.3, 2.16, 50)
+	m, err := FitNonMonotonic(samples, 2.16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Dominates(samples, 1e-9) {
+		t.Fatal("fitted non-monotonic model must dominate samples")
+	}
+	if m.XiTT() != 0.68 {
+		t.Fatalf("ξTT = %g, want 0.68", m.XiTT())
+	}
+	// Peak must be in the interior and at least the sampled peak.
+	if m.MaxDwell() < 1.05-1e-9 {
+		t.Fatalf("model peak %g below sampled peak", m.MaxDwell())
+	}
+	if m.PeakWait() <= 0 || m.PeakWait() >= 2.16 {
+		t.Fatalf("model peak wait %g outside (0, ξET)", m.PeakWait())
+	}
+}
+
+func TestFitConservativeDominatesAndIsMonotone(t *testing.T) {
+	samples := humpSamples(0.68, 1.05, 0.3, 2.16, 50)
+	m, err := FitConservative(samples, 2.16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Dominates(samples, 1e-9) {
+		t.Fatal("conservative model must dominate samples")
+	}
+	if len(m.Points) != 2 {
+		t.Fatalf("conservative model has %d breakpoints, want 2", len(m.Points))
+	}
+	if m.Points[0].Dwell < m.MaxDwell() {
+		t.Fatal("conservative model must peak at wait 0")
+	}
+	// ξ′M must exceed the sampled peak (it majorises the whole curve).
+	if m.MaxDwell() < 1.05 {
+		t.Fatalf("ξ′M = %g below sampled peak", m.MaxDwell())
+	}
+}
+
+func TestFitMonotoneDecayingCurve(t *testing.T) {
+	// A genuinely monotone curve: fit must still dominate and stay sane.
+	samples := []Point{{0, 1.0}, {0.5, 0.7}, {1.0, 0.45}, {1.5, 0.2}, {2.0, 0}}
+	m, err := FitNonMonotonic(samples, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Dominates(samples, 1e-9) {
+		t.Fatal("fit must dominate monotone samples")
+	}
+}
+
+func TestFitAllZeroCurve(t *testing.T) {
+	samples := []Point{{0, 0}, {1, 0}, {2, 0}}
+	m, err := FitNonMonotonic(samples, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxDwell() != 0 {
+		t.Fatalf("all-zero curve fit peak = %g", m.MaxDwell())
+	}
+}
+
+func TestFitSampleValidation(t *testing.T) {
+	if _, err := FitNonMonotonic([]Point{{0, 1}}, 2); err == nil {
+		t.Fatal("want error for too few samples")
+	}
+	if _, err := FitNonMonotonic([]Point{{0.5, 1}, {1, 0.5}}, 2); err == nil {
+		t.Fatal("want error when first sample not at 0")
+	}
+	if _, err := FitNonMonotonic([]Point{{0, 1}, {0, 0.5}}, 2); err == nil {
+		t.Fatal("want error for duplicate waits")
+	}
+	if _, err := FitNonMonotonic([]Point{{0, 1}, {1, -0.5}}, 2); err == nil {
+		t.Fatal("want error for negative dwell")
+	}
+	if _, err := FitConservative([]Point{{0, 1}, {1, 0.5}}, 0); err == nil {
+		t.Fatal("want error for ξET below first wait")
+	}
+}
+
+func TestFitHullDominatesAndTightens(t *testing.T) {
+	samples := humpSamples(0.68, 1.05, 0.3, 2.16, 60)
+	two, err := FitHull(samples, 2.16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := FitHull(samples, 2.16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := FitHull(samples, 2.16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*Model{two, four, eight} {
+		if !m.Dominates(samples, 1e-9) {
+			t.Fatalf("hull model %s must dominate samples", m.Kind)
+		}
+	}
+	// More segments must not be looser (area non-increasing).
+	area := func(m *Model) float64 {
+		a := 0.0
+		for w := 0.0; w < 2.16; w += 0.001 {
+			a += m.Dwell(w) * 0.001
+		}
+		return a
+	}
+	a2, a4, a8 := area(two), area(four), area(eight)
+	if a4 > a2+1e-6 || a8 > a4+1e-6 {
+		t.Fatalf("hull areas not non-increasing: %g, %g, %g", a2, a4, a8)
+	}
+}
+
+func TestFitHullValidation(t *testing.T) {
+	samples := humpSamples(0.5, 1, 0.3, 2, 10)
+	if _, err := FitHull(samples, 2, 1); err == nil {
+		t.Fatal("want error for maxSegments < 2")
+	}
+}
+
+// Property: all three fitted safe models dominate random hump-shaped curves,
+// and the non-monotonic fit is never looser than the conservative fit.
+func TestPropFitsDominate(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xiTT := 0.1 + r.Float64()
+		peak := xiTT * (1 + 1.5*r.Float64())
+		xiET := 2 + 3*r.Float64()
+		peakAt := xiET * (0.05 + 0.4*r.Float64())
+		n := 20 + r.Intn(40)
+		samples := humpSamples(xiTT, peak, peakAt, xiET, n)
+
+		nm, err1 := FitNonMonotonic(samples, xiET)
+		cons, err2 := FitConservative(samples, xiET)
+		hull, err3 := FitHull(samples, xiET, 3)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		if !nm.Dominates(samples, 1e-9) || !cons.Dominates(samples, 1e-9) || !hull.Dominates(samples, 1e-9) {
+			return false
+		}
+		// Conservative model dominates the non-monotonic model too.
+		for w := 0.0; w < xiET; w += xiET / 97 {
+			if cons.Dwell(w) < nm.Dwell(w)-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

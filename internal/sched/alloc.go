@@ -1,0 +1,246 @@
+package sched
+
+import (
+	"fmt"
+)
+
+// Policy selects the slot-allocation heuristic. Finding the minimum number
+// of slots is NP-hard (§IV), so the paper uses a heuristic; Exact is
+// provided as a branch-and-bound reference for small application sets.
+type Policy int
+
+const (
+	// FirstFit considers applications in priority order and places each in
+	// the first existing slot on which the whole group stays schedulable,
+	// opening a new slot otherwise.
+	FirstFit Policy = iota
+	// Sequential is the paper's literal §IV procedure: applications are
+	// only tried on the most recently opened slot.
+	Sequential
+	// BestFit places each application on the feasible slot whose resulting
+	// utilisation is highest (tightest packing).
+	BestFit
+	// Exact searches all partitions (with symmetry and bound pruning) for
+	// the minimum number of slots. Exponential; intended for n ≲ 12.
+	Exact
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case FirstFit:
+		return "first-fit"
+	case Sequential:
+		return "sequential"
+	case BestFit:
+		return "best-fit"
+	case Exact:
+		return "exact"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Allocation maps applications to TT slots.
+type Allocation struct {
+	Slots  [][]*App // Slots[s] lists the apps sharing TT slot s
+	Policy Policy
+	Method Method
+}
+
+// NumSlots returns the number of TT slots used.
+func (al *Allocation) NumSlots() int { return len(al.Slots) }
+
+// SlotOf returns the slot index of the named app, or −1.
+func (al *Allocation) SlotOf(name string) int {
+	for s, group := range al.Slots {
+		for _, a := range group {
+			if a.Name == name {
+				return s
+			}
+		}
+	}
+	return -1
+}
+
+// Verify re-runs the schedulability analysis on every slot and returns an
+// error if any app misses its deadline.
+func (al *Allocation) Verify() error {
+	for s, group := range al.Slots {
+		results, ok, err := AnalyzeSlot(group, al.Method)
+		if err != nil {
+			return fmt.Errorf("sched: slot %d: %w", s+1, err)
+		}
+		if !ok {
+			for _, r := range results {
+				if !r.Schedulable {
+					return fmt.Errorf("sched: slot %d: app %q unschedulable (ξ̂ = %.3f > ξd = %.3f)",
+						s+1, r.App.Name, r.WCRT, r.App.Deadline)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Allocate assigns the applications to TT slots under the given policy and
+// wait-time method. Apps are processed in priority order (§V starts from
+// the shortest deadline). An app that is unschedulable even alone on a
+// fresh slot yields an error.
+func Allocate(apps []*App, policy Policy, method Method) (*Allocation, error) {
+	for _, a := range apps {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if len(apps) == 0 {
+		return &Allocation{Policy: policy, Method: method}, nil
+	}
+	sorted := SortByPriority(apps)
+	if policy == Exact {
+		return allocateExact(sorted, method)
+	}
+
+	var slots [][]*App
+	for _, app := range sorted {
+		idx, err := pickSlot(slots, app, policy, method)
+		if err != nil {
+			return nil, err
+		}
+		if idx >= 0 {
+			slots[idx] = append(slots[idx], app)
+			continue
+		}
+		// Open a new slot; the app must at least fit alone.
+		alone := []*App{app}
+		ok, err := SlotSchedulable(alone, method)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("sched: app %q unschedulable even on a dedicated TT slot (ξTT = %.3f > ξd = %.3f)",
+				app.Name, app.Model.XiTT(), app.Deadline)
+		}
+		slots = append(slots, alone)
+	}
+	return &Allocation{Slots: slots, Policy: policy, Method: method}, nil
+}
+
+// pickSlot returns the index of an existing slot that can accept the app,
+// or −1 if a new slot must be opened.
+func pickSlot(slots [][]*App, app *App, policy Policy, method Method) (int, error) {
+	switch policy {
+	case FirstFit:
+		for i, group := range slots {
+			ok, err := SlotSchedulable(append(append([]*App(nil), group...), app), method)
+			if err != nil {
+				return -1, err
+			}
+			if ok {
+				return i, nil
+			}
+		}
+		return -1, nil
+	case Sequential:
+		if len(slots) == 0 {
+			return -1, nil
+		}
+		i := len(slots) - 1
+		ok, err := SlotSchedulable(append(append([]*App(nil), slots[i]...), app), method)
+		if err != nil {
+			return -1, err
+		}
+		if ok {
+			return i, nil
+		}
+		return -1, nil
+	case BestFit:
+		best, bestU := -1, -1.0
+		for i, group := range slots {
+			cand := append(append([]*App(nil), group...), app)
+			ok, err := SlotSchedulable(cand, method)
+			if err != nil {
+				return -1, err
+			}
+			if ok {
+				if u := SlotUtilization(cand); u > bestU {
+					best, bestU = i, u
+				}
+			}
+		}
+		return best, nil
+	default:
+		return -1, fmt.Errorf("sched: unknown policy %v", policy)
+	}
+}
+
+// allocateExact finds a minimum-slot partition by depth-first search with
+// branch-and-bound. Apps arrive in priority order; each app is tried in
+// every existing group (skipping infeasible ones) and in one new group —
+// opening at most one new group per level kills permutation symmetry.
+func allocateExact(sorted []*App, method Method) (*Allocation, error) {
+	// Upper bound from first-fit.
+	ff, err := Allocate(sorted, FirstFit, method)
+	if err != nil {
+		return nil, err
+	}
+	best := ff.Slots
+	bestN := len(best)
+
+	groups := make([][]*App, 0, len(sorted))
+	var dfs func(i int) error
+	dfs = func(i int) error {
+		if len(groups) >= bestN {
+			return nil // cannot improve
+		}
+		if i == len(sorted) {
+			best = cloneGroups(groups)
+			bestN = len(best)
+			return nil
+		}
+		app := sorted[i]
+		for g := range groups {
+			cand := append(append([]*App(nil), groups[g]...), app)
+			ok, err := SlotSchedulable(cand, method)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			groups[g] = append(groups[g], app)
+			if err := dfs(i + 1); err != nil {
+				return err
+			}
+			groups[g] = groups[g][:len(groups[g])-1]
+		}
+		// Open a new group, but only if the result could still beat bestN.
+		if len(groups)+1 < bestN {
+			ok, err := SlotSchedulable([]*App{app}, method)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("sched: app %q unschedulable even on a dedicated TT slot", app.Name)
+			}
+			groups = append(groups, []*App{app})
+			if err := dfs(i + 1); err != nil {
+				return err
+			}
+			groups = groups[:len(groups)-1]
+		}
+		return nil
+	}
+	if err := dfs(0); err != nil {
+		return nil, err
+	}
+	return &Allocation{Slots: best, Policy: Exact, Method: method}, nil
+}
+
+func cloneGroups(groups [][]*App) [][]*App {
+	out := make([][]*App, len(groups))
+	for i, g := range groups {
+		out[i] = append([]*App(nil), g...)
+	}
+	return out
+}

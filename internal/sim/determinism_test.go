@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+
+	"cpsdyn/internal/flexray"
+)
+
+// The engine must be bit-for-bit deterministic: all timing is integer
+// nanoseconds and every tie is broken explicitly, so two runs of the same
+// configuration produce identical traces and slot-event sequences. This is
+// what makes the experiment artefacts reproducible across machines.
+func TestEngineDeterminism(t *testing.T) {
+	build := func() *Result {
+		hi := testApp(t, "HI", 1, 0, 2*flexray.Second)
+		lo := testApp(t, "LO", 2, 0, 4*flexray.Second)
+		cfg := baseConfig(hi, lo)
+		cfg.Duration = 8 * flexray.Second
+		cfg.Disturbances = []Disturbance{
+			{App: "HI", Time: 0},
+			{App: "LO", Time: 0},
+			{App: "HI", Time: 5 * flexray.Second},
+		}
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := build(), build()
+	for name, ra := range a.Apps {
+		rb := b.Apps[name]
+		if len(ra.Trace) != len(rb.Trace) {
+			t.Fatalf("%s: trace lengths differ", name)
+		}
+		for i := range ra.Trace {
+			if ra.Trace[i] != rb.Trace[i] {
+				t.Fatalf("%s: trace diverges at %d: %+v vs %+v", name, i, ra.Trace[i], rb.Trace[i])
+			}
+		}
+		for i := range ra.ResponseTimes {
+			if ra.ResponseTimes[i] != rb.ResponseTimes[i] {
+				t.Fatalf("%s: response times differ", name)
+			}
+		}
+	}
+	for slot, ea := range a.SlotHolder {
+		eb := b.SlotHolder[slot]
+		if len(ea) != len(eb) {
+			t.Fatalf("slot %d: event counts differ", slot)
+		}
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("slot %d: events diverge at %d", slot, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,557 @@
+// Package sim is the discrete-event co-simulation engine that replaces the
+// paper's MATLAB/Simulink + TrueTime setup. It couples:
+//
+//   - sampled-data LTI plants integrated exactly between samples with the
+//     actual per-period actuation delay (lti.DelayTable);
+//   - sensing/control/actuation tasks on distributed ECUs, with the control
+//     input transmitted over a FlexRay bus (flexray.Bus);
+//   - the paper's Fig.-1 dynamic resource-allocation protocol: an
+//     application closes its loop over ET communication until ‖x‖ > Eth,
+//     then requests its assigned TT slot, waits (non-preemptive, deadline
+//     priority), dwells on the slot until ‖x‖ ≤ Eth, and releases it.
+//
+// The engine is cycle-stepped: time advances one FlexRay cycle at a time;
+// sampling instants coincide with cycle starts (h must be a multiple of the
+// cycle length, as in the case study: h = 20 ms = 4 × 5 ms cycles).
+//
+// Each sample instant runs in deterministic phases across all applications:
+// integrate & sense → release/withdraw slots → request & grant (deadline
+// priority) → compute & transmit. Grant decisions therefore never depend on
+// the order applications are listed in.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"cpsdyn/internal/flexray"
+	"cpsdyn/internal/lti"
+	"cpsdyn/internal/mat"
+)
+
+// Mode is the communication mode of an application at a sample instant.
+type Mode int
+
+const (
+	// ModeET: steady state, control signal on the dynamic segment.
+	ModeET Mode = iota
+	// ModeWait: disturbance detected but the TT slot is held by another
+	// application; still transmitting on the dynamic segment.
+	ModeWait
+	// ModeTT: holding the TT slot.
+	ModeTT
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeET:
+		return "ET"
+	case ModeWait:
+		return "WAIT"
+	case ModeTT:
+		return "TT"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// AppConfig describes one application in the co-simulation.
+type AppConfig struct {
+	Name     string
+	Plant    *lti.Continuous
+	KTT, KET *mat.Matrix // gains on the augmented state [x; uPrev]
+	Eth      float64     // steady-state threshold on ‖x‖ (plant states)
+	X0       []float64   // plant state set by a disturbance
+	H        int64       // sampling period (ns); multiple of the cycle length
+	R        int64       // min disturbance inter-arrival (ns), informational
+	Deadline int64       // desired response time ξd (ns); also the priority
+	FrameID  int         // dynamic-segment frame ID (ET priority)
+	Slot     int         // assigned TT (static) slot index
+	DelayTT  int64       // design sensor-to-actuator delay in TT mode (ns)
+	DelayET  int64       // design worst-case delay in ET mode (ns)
+}
+
+// Disturbance sets an application's plant state at a given time (quantised
+// to the app's next sample instant).
+type Disturbance struct {
+	App   string
+	Time  int64
+	State []float64 // plant state to impose; nil → the app's X0
+
+	applied bool // engine-internal: consumed
+}
+
+// Config is the full co-simulation setup.
+type Config struct {
+	Bus          flexray.Config
+	Apps         []*AppConfig
+	Duration     int64 // simulated time (ns)
+	Disturbances []Disturbance
+	// JitterBuffer holds each received control value until the design delay
+	// (DelayTT/DelayET after the sample) so the closed loop matches the
+	// constant-delay design model exactly. When false, inputs apply at the
+	// actual message arrival time (time-varying delay).
+	JitterBuffer bool
+}
+
+// TracePoint is one per-sample record of an application.
+type TracePoint struct {
+	Time int64
+	Norm float64 // ‖x‖ over plant states at the sample instant
+	Mode Mode
+	U    float64 // control input computed at this sample
+}
+
+// AppResult is the per-application outcome.
+type AppResult struct {
+	Name  string
+	Trace []TracePoint
+	// ResponseTimes holds, per injected disturbance, the measured time (ns)
+	// from injection until the norm re-enters and stays within Eth; −1 when
+	// the app never settled inside its observation window.
+	ResponseTimes []int64
+	DeadlineMet   bool
+}
+
+// Result is the co-simulation outcome.
+type Result struct {
+	Apps     map[string]*AppResult
+	BusStats flexray.Stats
+	// SlotHolder[slot] lists (time, holder) changes for Fig.-5 shading.
+	SlotHolder map[int][]SlotEvent
+}
+
+// SlotEvent records a TT-slot ownership change.
+type SlotEvent struct {
+	Time   int64
+	Holder string // "" = free
+}
+
+// appState is the runtime state of one application.
+type appState struct {
+	cfg   *AppConfig
+	table *lti.DelayTable
+	x     []float64 // plant state
+	norm  float64   // ‖x‖ at the current sample instant
+	uPrev float64   // input active at the start of the current period
+	uSent float64   // input computed at the last sample
+	mode  Mode
+	// Delivery of the in-flight message: arrTime < 0 means nothing
+	// delivered yet; sentDelay is the jitter-buffer target recorded at
+	// transmission time.
+	arrTime   int64
+	arrVal    float64
+	sentDelay int64
+	trace     []TracePoint
+}
+
+// arbiter manages one shared TT slot (non-preemptive, deadline priority).
+type arbiter struct {
+	slot    int
+	holder  *appState
+	waiting []*appState
+	events  []SlotEvent
+}
+
+func (ar *arbiter) isWaiting(a *appState) bool {
+	for _, w := range ar.waiting {
+		if w == a {
+			return true
+		}
+	}
+	return false
+}
+
+func (ar *arbiter) enqueue(a *appState) {
+	if !ar.isWaiting(a) {
+		ar.waiting = append(ar.waiting, a)
+	}
+}
+
+func (ar *arbiter) withdraw(a *appState) {
+	for i, w := range ar.waiting {
+		if w == a {
+			ar.waiting = append(ar.waiting[:i], ar.waiting[i+1:]...)
+			return
+		}
+	}
+}
+
+func (ar *arbiter) release(a *appState, now int64) {
+	if ar.holder != a {
+		return
+	}
+	ar.holder = nil
+	ar.events = append(ar.events, SlotEvent{now, ""})
+}
+
+// grant hands a free slot to the highest-priority waiter (shortest
+// deadline; name-tie-broken), marking it ModeTT.
+func (ar *arbiter) grant(now int64) {
+	if ar.holder != nil || len(ar.waiting) == 0 {
+		return
+	}
+	sort.SliceStable(ar.waiting, func(i, j int) bool {
+		if ar.waiting[i].cfg.Deadline != ar.waiting[j].cfg.Deadline {
+			return ar.waiting[i].cfg.Deadline < ar.waiting[j].cfg.Deadline
+		}
+		return ar.waiting[i].cfg.Name < ar.waiting[j].cfg.Name
+	})
+	next := ar.waiting[0]
+	ar.waiting = ar.waiting[1:]
+	ar.holder = next
+	next.mode = ModeTT
+	ar.events = append(ar.events, SlotEvent{now, next.cfg.Name})
+}
+
+// Engine runs a configured co-simulation.
+type Engine struct {
+	cfg      Config
+	bus      *flexray.Bus
+	apps     []*appState
+	arbiters map[int]*arbiter
+	disturbs []Disturbance
+}
+
+// New validates the configuration and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Bus.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Apps) == 0 {
+		return nil, fmt.Errorf("sim: no applications configured")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("sim: duration %d must be positive", cfg.Duration)
+	}
+	bus, err := flexray.New(cfg.Bus)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, bus: bus, arbiters: make(map[int]*arbiter)}
+	seen := make(map[string]bool)
+	frames := make(map[int]string)
+	for _, ac := range cfg.Apps {
+		if seen[ac.Name] {
+			return nil, fmt.Errorf("sim: duplicate app name %q", ac.Name)
+		}
+		seen[ac.Name] = true
+		if other, dup := frames[ac.FrameID]; dup {
+			return nil, fmt.Errorf("sim: apps %q and %q share frame ID %d", other, ac.Name, ac.FrameID)
+		}
+		frames[ac.FrameID] = ac.Name
+		if ac.H <= 0 || ac.H%cfg.Bus.CycleLength != 0 {
+			return nil, fmt.Errorf("sim: app %q: sampling period %d ns must be a positive multiple of the cycle (%d ns)",
+				ac.Name, ac.H, cfg.Bus.CycleLength)
+		}
+		if ac.Slot < 0 || ac.Slot >= cfg.Bus.StaticSlots {
+			return nil, fmt.Errorf("sim: app %q: slot %d outside [0, %d)", ac.Name, ac.Slot, cfg.Bus.StaticSlots)
+		}
+		if ac.Eth <= 0 {
+			return nil, fmt.Errorf("sim: app %q: threshold must be positive", ac.Name)
+		}
+		if len(ac.X0) != ac.Plant.Order() {
+			return nil, fmt.Errorf("sim: app %q: X0 has %d entries, want %d", ac.Name, len(ac.X0), ac.Plant.Order())
+		}
+		if ac.Plant.Inputs() != 1 {
+			return nil, fmt.Errorf("sim: app %q: only single-input plants are supported", ac.Name)
+		}
+		if ac.DelayTT < 0 || ac.DelayTT > ac.H || ac.DelayET < 0 || ac.DelayET > ac.H {
+			return nil, fmt.Errorf("sim: app %q: design delays (TT %d, ET %d) must lie in [0, h=%d]",
+				ac.Name, ac.DelayTT, ac.DelayET, ac.H)
+		}
+		table, err := lti.NewDelayTable(ac.Plant, float64(ac.H)/1e9)
+		if err != nil {
+			return nil, fmt.Errorf("sim: app %q: %w", ac.Name, err)
+		}
+		wantCols := ac.Plant.Order() + 1
+		for _, k := range []*mat.Matrix{ac.KTT, ac.KET} {
+			if k == nil || k.Rows() != 1 || k.Cols() != wantCols {
+				return nil, fmt.Errorf("sim: app %q: gains must be 1×%d on [x; uPrev]", ac.Name, wantCols)
+			}
+		}
+		st := &appState{
+			cfg:     ac,
+			table:   table,
+			x:       make([]float64, ac.Plant.Order()),
+			mode:    ModeET,
+			arrTime: -1,
+		}
+		e.apps = append(e.apps, st)
+		if _, ok := e.arbiters[ac.Slot]; !ok {
+			e.arbiters[ac.Slot] = &arbiter{slot: ac.Slot}
+		}
+	}
+	e.disturbs = append([]Disturbance(nil), cfg.Disturbances...)
+	sort.SliceStable(e.disturbs, func(i, j int) bool { return e.disturbs[i].Time < e.disturbs[j].Time })
+	for _, d := range e.disturbs {
+		if e.appByName(d.App) == nil {
+			return nil, fmt.Errorf("sim: disturbance for unknown app %q", d.App)
+		}
+	}
+	return e, nil
+}
+
+// Run executes the simulation and gathers results.
+func (e *Engine) Run() (*Result, error) {
+	cycle := e.cfg.Bus.CycleLength
+	for t := int64(0); t < e.cfg.Duration; t += cycle {
+		sampling := e.samplingApps(t)
+
+		// Phase 1: integrate the elapsed period, apply any disturbance due
+		// by now (quantised to the app's sample instant), and sense.
+		for _, a := range sampling {
+			if t > 0 {
+				if err := e.integrate(a, t); err != nil {
+					return nil, err
+				}
+			}
+			if err := e.applyDisturbances(a, t); err != nil {
+				return nil, err
+			}
+			a.norm = mat.VecNorm2(a.x)
+		}
+		// Phase 2: settled holders release; settled waiters withdraw.
+		for _, a := range sampling {
+			ar := e.arbiters[a.cfg.Slot]
+			switch {
+			case a.mode == ModeTT && a.norm <= a.cfg.Eth:
+				a.mode = ModeET
+				ar.release(a, t)
+				_ = e.bus.AssignStatic(ar.slot, "")
+			case a.mode == ModeWait && a.norm <= a.cfg.Eth:
+				ar.withdraw(a)
+				a.mode = ModeET
+			}
+		}
+		// Phase 3: disturbed ET apps request; free slots grant by priority.
+		for _, a := range sampling {
+			if a.mode == ModeET && a.norm > a.cfg.Eth {
+				a.mode = ModeWait
+				e.arbiters[a.cfg.Slot].enqueue(a)
+			}
+		}
+		for _, ar := range e.arbiters {
+			ar.grant(t)
+		}
+		// Phase 4: compute the control input and transmit.
+		for _, a := range sampling {
+			if err := e.transmit(a, t); err != nil {
+				return nil, err
+			}
+		}
+
+		// Bus: run the FlexRay cycle; deliver arrivals.
+		for _, arr := range e.bus.ProcessCycle(t) {
+			if a := e.appByName(arr.Msg.App); a != nil {
+				a.arrTime = arr.Time
+				a.arrVal = a.uSent
+			}
+		}
+	}
+	return e.collect(), nil
+}
+
+// applyDisturbances imposes every not-yet-applied disturbance for app a
+// whose time is ≤ t. Disturbances are quantised to the application's sample
+// instants (the state jump becomes visible at the first sample at or after
+// the configured time).
+func (e *Engine) applyDisturbances(a *appState, t int64) error {
+	for i := range e.disturbs {
+		d := &e.disturbs[i]
+		if d.applied || d.App != a.cfg.Name || d.Time > t {
+			continue
+		}
+		state := d.State
+		if state == nil {
+			state = a.cfg.X0
+		}
+		if len(state) != len(a.x) {
+			return fmt.Errorf("sim: disturbance state for %q has %d entries, want %d",
+				d.App, len(state), len(a.x))
+		}
+		copy(a.x, state)
+		d.applied = true
+	}
+	return nil
+}
+
+// samplingApps returns the apps whose sample instant is t.
+func (e *Engine) samplingApps(t int64) []*appState {
+	var out []*appState
+	for _, a := range e.apps {
+		if t%a.cfg.H == 0 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// integrate advances app a's plant over the period ending at t.
+func (e *Engine) integrate(a *appState, t int64) error {
+	periodStart := t - a.cfg.H
+	if a.arrTime >= 0 {
+		eff := a.arrTime
+		if e.cfg.JitterBuffer {
+			eff = periodStart + a.sentDelay
+			if a.arrTime > eff {
+				eff = a.arrTime // never actuate before the data arrived
+			}
+		}
+		if eff < periodStart {
+			eff = periodStart
+		}
+		switch {
+		case eff < t: // the new input took effect inside this period
+			d := eff - periodStart
+			next, err := a.table.Step(a.x, []float64{a.arrVal}, []float64{a.uPrev}, float64(d)/1e9)
+			if err != nil {
+				return fmt.Errorf("sim: app %q: %w", a.cfg.Name, err)
+			}
+			a.x = next
+			a.uPrev = a.arrVal
+			a.arrTime = -1
+			return nil
+		case eff == t:
+			// Full-period delay (d = h): the old input holds throughout;
+			// the new one becomes active exactly at the next period start.
+			next, err := a.table.Step(a.x, []float64{a.uPrev}, []float64{a.uPrev}, 0)
+			if err != nil {
+				return fmt.Errorf("sim: app %q: %w", a.cfg.Name, err)
+			}
+			a.x = next
+			a.uPrev = a.arrVal
+			a.arrTime = -1
+			return nil
+		}
+		// eff > t: actuation beyond the period end is unsupported and the
+		// message would be superseded; treat as lost (validated against at
+		// configuration time via DelayTT/DelayET ≤ H).
+	}
+	// No (timely) arrival: the previous input holds for the whole period.
+	next, err := a.table.Step(a.x, []float64{a.uPrev}, []float64{a.uPrev}, 0)
+	if err != nil {
+		return fmt.Errorf("sim: app %q: %w", a.cfg.Name, err)
+	}
+	a.x = next
+	return nil
+}
+
+// transmit computes the control input with the mode's gain and sends it on
+// the bus lane the mode prescribes.
+func (e *Engine) transmit(a *appState, t int64) error {
+	k := a.cfg.KET
+	delay := a.cfg.DelayET
+	if a.mode == ModeTT {
+		k = a.cfg.KTT
+		delay = a.cfg.DelayTT
+	}
+	u := 0.0
+	for i, g := range k.Row(0) {
+		if i < len(a.x) {
+			u -= g * a.x[i]
+		} else {
+			u -= g * a.uPrev
+		}
+	}
+	a.uSent = u
+	a.sentDelay = delay
+
+	msg := flexray.Message{
+		FrameID:  a.cfg.FrameID,
+		App:      a.cfg.Name,
+		Enqueued: t,
+	}
+	if a.mode == ModeTT {
+		msg.Static = true
+		msg.Slot = a.cfg.Slot
+		if err := e.bus.AssignStatic(a.cfg.Slot, a.cfg.Name); err != nil {
+			return err
+		}
+	}
+	if err := e.bus.Send(msg); err != nil {
+		return fmt.Errorf("sim: app %q: %w", a.cfg.Name, err)
+	}
+	a.arrTime = -1 // awaiting the new message's delivery
+	a.trace = append(a.trace, TracePoint{Time: t, Norm: a.norm, Mode: a.mode, U: u})
+	return nil
+}
+
+func (e *Engine) appByName(name string) *appState {
+	for _, a := range e.apps {
+		if a.cfg.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// collect builds the Result: traces, measured response times, deadlines.
+func (e *Engine) collect() *Result {
+	res := &Result{
+		Apps:       make(map[string]*AppResult, len(e.apps)),
+		BusStats:   e.bus.Stats(),
+		SlotHolder: make(map[int][]SlotEvent),
+	}
+	for slot, ar := range e.arbiters {
+		res.SlotHolder[slot] = ar.events
+	}
+	for _, a := range e.apps {
+		r := &AppResult{Name: a.cfg.Name, Trace: a.trace, DeadlineMet: true}
+		for _, d := range e.disturbs {
+			if d.App != a.cfg.Name {
+				continue
+			}
+			rt := measureResponse(a.trace, d.Time, a.cfg.Eth, e.nextDisturbance(a.cfg.Name, d.Time))
+			r.ResponseTimes = append(r.ResponseTimes, rt)
+			if rt < 0 || rt > a.cfg.Deadline {
+				r.DeadlineMet = false
+			}
+		}
+		res.Apps[a.cfg.Name] = r
+	}
+	return res
+}
+
+// nextDisturbance returns the time of the next disturbance for the app
+// after t, or the simulation end.
+func (e *Engine) nextDisturbance(app string, t int64) int64 {
+	for _, d := range e.disturbs {
+		if d.App == app && d.Time > t {
+			return d.Time
+		}
+	}
+	return e.cfg.Duration
+}
+
+// measureResponse returns the time (ns, relative to from) after which the
+// norm stays ≤ eth until the window end, or −1 if the trace never settles
+// inside the window.
+func measureResponse(trace []TracePoint, from int64, eth float64, until int64) int64 {
+	lastAbove := int64(-1)
+	firstAfterLastAbove := int64(-1)
+	sawSample := false
+	for _, p := range trace {
+		if p.Time < from || p.Time >= until {
+			continue
+		}
+		sawSample = true
+		if p.Norm > eth {
+			lastAbove = p.Time
+			firstAfterLastAbove = -1
+		} else if firstAfterLastAbove < 0 {
+			firstAfterLastAbove = p.Time
+		}
+	}
+	if !sawSample {
+		return -1
+	}
+	if lastAbove < 0 {
+		return 0 // never left the steady-state region
+	}
+	if firstAfterLastAbove < 0 {
+		return -1 // still above the threshold at the window end
+	}
+	return firstAfterLastAbove - from
+}

@@ -1,0 +1,213 @@
+// Package switching analyses the switched closed-loop dynamics of §III of
+// the paper. An application rejects a disturbance first over ET
+// communication (closed loop A1) and, after kwait samples, switches once to
+// a TT slot (closed loop A2):
+//
+//	x1[k]        = A1^k · x0                      (before the switch, eq. 3)
+//	x2[kwait, k] = A2^k · A1^kwait · x0           (after the switch,  eq. 4)
+//
+// The dwell time kdw(kwait) is the number of samples the TT loop needs to
+// bring the norm back below the threshold Eth. Because ‖A1^k·x0‖ typically
+// grows before it decays, kdw is NOT monotone in kwait — the paper's first
+// contribution, which this package measures by exhaustive simulation.
+package switching
+
+import (
+	"fmt"
+
+	"cpsdyn/internal/mat"
+	"cpsdyn/internal/pwl"
+)
+
+// System is one application's pair of switched closed loops on a shared
+// (delay-augmented) state space.
+type System struct {
+	Name     string
+	A1       *mat.Matrix // ET closed-loop matrix (augmented)
+	A2       *mat.Matrix // TT closed-loop matrix (augmented)
+	X0       []float64   // canonical post-disturbance state (augmented)
+	Eth      float64     // steady-state threshold on the plant sub-norm
+	NormDims int         // leading components included in the norm; 0 = all
+	H        float64     // sampling period in seconds
+}
+
+// Validate checks shapes, threshold and asymptotic stability of both loops
+// (switching stability holds because the scheme switches at most once,
+// §II-B of the paper).
+func (s *System) Validate() error {
+	n := s.A1.Rows()
+	if s.A1.Cols() != n || s.A2.Rows() != n || s.A2.Cols() != n {
+		return fmt.Errorf("switching: %s: A1 (%d×%d) and A2 (%d×%d) must be square and equal-sized",
+			s.Name, s.A1.Rows(), s.A1.Cols(), s.A2.Rows(), s.A2.Cols())
+	}
+	if len(s.X0) != n {
+		return fmt.Errorf("switching: %s: x0 has %d entries, want %d", s.Name, len(s.X0), n)
+	}
+	if s.Eth <= 0 {
+		return fmt.Errorf("switching: %s: threshold Eth = %g must be positive", s.Name, s.Eth)
+	}
+	if s.H <= 0 {
+		return fmt.Errorf("switching: %s: sampling period %g must be positive", s.Name, s.H)
+	}
+	if s.NormDims < 0 || s.NormDims > n {
+		return fmt.Errorf("switching: %s: NormDims %d outside [0, %d]", s.Name, s.NormDims, n)
+	}
+	for _, a := range []*mat.Matrix{s.A1, s.A2} {
+		stable, err := mat.IsSchurStable(a)
+		if err != nil {
+			return fmt.Errorf("switching: %s: %w", s.Name, err)
+		}
+		if !stable {
+			return fmt.Errorf("switching: %s: closed loop is not Schur stable", s.Name)
+		}
+	}
+	return nil
+}
+
+func (s *System) normDims() int {
+	if s.NormDims <= 0 || s.NormDims > len(s.X0) {
+		return len(s.X0)
+	}
+	return s.NormDims
+}
+
+// Norm returns the threshold norm ‖x‖ of a state (plant sub-norm).
+func (s *System) Norm(x []float64) float64 {
+	return mat.VecNorm2(x[:s.normDims()])
+}
+
+// settle returns the first step index k such that the trajectory of a from
+// x0 satisfies ‖x[j]‖ ≤ Eth for all j ∈ [k, horizon].
+func (s *System) settle(a *mat.Matrix, x0 []float64, horizon int) (int, bool) {
+	x := append([]float64(nil), x0...)
+	lastAbove := -1
+	for k := 0; k <= horizon; k++ {
+		if s.Norm(x) > s.Eth {
+			lastAbove = k
+		}
+		if k < horizon {
+			x = a.MulVec(x)
+		}
+	}
+	if lastAbove == horizon {
+		return horizon, false
+	}
+	return lastAbove + 1, true
+}
+
+// ResponseStepsET returns the settling step count under pure ET
+// communication (the paper's ξET in samples).
+func (s *System) ResponseStepsET(horizon int) (int, bool) { return s.settle(s.A1, s.X0, horizon) }
+
+// ResponseStepsTT returns the settling step count under pure TT
+// communication (the paper's ξTT in samples).
+func (s *System) ResponseStepsTT(horizon int) (int, bool) { return s.settle(s.A2, s.X0, horizon) }
+
+// DwellSteps returns kdw for a given kwait (both in samples): the settling
+// step count of A2 started from A1^kwait·x0.
+func (s *System) DwellSteps(kwait, horizon int) (int, bool) {
+	x := append([]float64(nil), s.X0...)
+	for k := 0; k < kwait; k++ {
+		x = s.A1.MulVec(x)
+	}
+	return s.settle(s.A2, x, horizon)
+}
+
+// Curve is a sampled dwell/wait relation together with the pure-mode
+// response times, all in seconds.
+type Curve struct {
+	Samples []pwl.Point // (kwait, kdw) in seconds, one per sample step
+	XiTT    float64     // response with pure TT communication
+	XiET    float64     // response with pure ET communication
+	H       float64     // sampling period
+}
+
+// SampleCurve measures kdw(kwait) for every kwait from 0 up to the pure-ET
+// settling time. The horizon bounds each settling simulation; it must
+// comfortably exceed the slowest settling (Validate-checked stability
+// guarantees existence).
+func (s *System) SampleCurve(horizon int) (*Curve, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon <= 0 {
+		horizon = 20000
+	}
+	kET, ok := s.ResponseStepsET(horizon)
+	if !ok {
+		return nil, fmt.Errorf("switching: %s: ET loop did not settle within %d steps", s.Name, horizon)
+	}
+	kTT, ok := s.ResponseStepsTT(horizon)
+	if !ok {
+		return nil, fmt.Errorf("switching: %s: TT loop did not settle within %d steps", s.Name, horizon)
+	}
+	samples := make([]pwl.Point, 0, kET+1)
+	x := append([]float64(nil), s.X0...)
+	for kwait := 0; kwait < kET; kwait++ {
+		kdw, ok := s.settle(s.A2, x, horizon)
+		if !ok {
+			return nil, fmt.Errorf("switching: %s: TT loop did not settle from kwait=%d within %d steps",
+				s.Name, kwait, horizon)
+		}
+		samples = append(samples, pwl.Point{
+			Wait:  float64(kwait) * s.H,
+			Dwell: float64(kdw) * s.H,
+		})
+		x = s.A1.MulVec(x)
+	}
+	// At kwait = ξET the plant has settled under ET alone; the protocol
+	// never takes the slot, so the dwell there is 0 by definition.
+	samples = append(samples, pwl.Point{Wait: float64(kET) * s.H, Dwell: 0})
+	return &Curve{
+		Samples: samples,
+		XiTT:    float64(kTT) * s.H,
+		XiET:    float64(kET) * s.H,
+		H:       s.H,
+	}, nil
+}
+
+// IsNonMonotonic reports whether the sampled dwell curve has a genuine
+// rising phase (some dwell sample exceeds the dwell at kwait = 0 by more
+// than one sampling period), i.e. whether the paper's Fig.-3 effect occurs.
+func (c *Curve) IsNonMonotonic() bool {
+	if len(c.Samples) == 0 {
+		return false
+	}
+	first := c.Samples[0].Dwell
+	for _, p := range c.Samples[1:] {
+		if p.Dwell > first+c.H/2 {
+			return true
+		}
+	}
+	return false
+}
+
+// PeakSample returns the sample with the largest dwell.
+func (c *Curve) PeakSample() pwl.Point {
+	best := c.Samples[0]
+	for _, p := range c.Samples[1:] {
+		if p.Dwell > best.Dwell {
+			best = p
+		}
+	}
+	return best
+}
+
+// FitModels builds the paper's three models from the sampled curve:
+// the safe non-monotonic two-segment fit, the safe conservative monotonic
+// fit and the UNSAFE simple monotonic line.
+func (c *Curve) FitModels() (nonMono, conservative, simple *pwl.Model, err error) {
+	nonMono, err = pwl.FitNonMonotonic(c.Samples, c.XiET)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	conservative, err = pwl.FitConservative(c.Samples, c.XiET)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	simple, err = pwl.SimpleMonotonic(c.XiTT, c.XiET)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return nonMono, conservative, simple, nil
+}

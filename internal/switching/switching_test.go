@@ -1,0 +1,191 @@
+package switching
+
+import (
+	"math"
+	"testing"
+
+	"cpsdyn/internal/mat"
+)
+
+// nonNormalSystem returns a system whose ET loop has a strong transient
+// hump (non-normal A1), producing the paper's non-monotonic dwell curve.
+func nonNormalSystem() *System {
+	return &System{
+		Name: "non-normal",
+		A1:   mat.FromRows([][]float64{{0.92, 1.8}, {0, 0.7}}),
+		A2:   mat.FromRows([][]float64{{0.45, 0}, {0, 0.35}}),
+		X0:   []float64{1, 0.8},
+		Eth:  0.1,
+		H:    0.02,
+	}
+}
+
+// diagonalSystem settles monotonically (normal matrices, no transient).
+func diagonalSystem() *System {
+	return &System{
+		Name: "diagonal",
+		A1:   mat.Diag(0.9, 0.85),
+		A2:   mat.Diag(0.5, 0.45),
+		X0:   []float64{1, 1},
+		Eth:  0.1,
+		H:    0.02,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := nonNormalSystem().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := nonNormalSystem()
+	bad.A1 = mat.Diag(1.1, 0.5)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("want error for unstable A1")
+	}
+	bad2 := nonNormalSystem()
+	bad2.Eth = 0
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("want error for zero threshold")
+	}
+	bad3 := nonNormalSystem()
+	bad3.X0 = []float64{1}
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("want error for x0 length mismatch")
+	}
+	bad4 := nonNormalSystem()
+	bad4.H = 0
+	if err := bad4.Validate(); err == nil {
+		t.Fatal("want error for zero sampling period")
+	}
+	bad5 := nonNormalSystem()
+	bad5.A2 = mat.New(3, 3)
+	if err := bad5.Validate(); err == nil {
+		t.Fatal("want error for A2 size mismatch")
+	}
+}
+
+func TestDwellAtZeroEqualsTTResponse(t *testing.T) {
+	s := nonNormalSystem()
+	kTT, ok1 := s.ResponseStepsTT(10000)
+	kdw0, ok2 := s.DwellSteps(0, 10000)
+	if !ok1 || !ok2 {
+		t.Fatal("settling failed")
+	}
+	if kTT != kdw0 {
+		t.Fatalf("DwellSteps(0) = %d, ResponseStepsTT = %d", kdw0, kTT)
+	}
+}
+
+func TestSampleCurveEndpoints(t *testing.T) {
+	s := nonNormalSystem()
+	c, err := s.SampleCurve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Samples) < 3 {
+		t.Fatalf("curve has only %d samples", len(c.Samples))
+	}
+	if c.Samples[0].Wait != 0 {
+		t.Fatalf("first sample wait = %g", c.Samples[0].Wait)
+	}
+	if math.Abs(c.Samples[0].Dwell-c.XiTT) > 1e-12 {
+		t.Fatalf("dwell at 0 = %g, ξTT = %g", c.Samples[0].Dwell, c.XiTT)
+	}
+	last := c.Samples[len(c.Samples)-1]
+	if math.Abs(last.Wait-c.XiET) > 1e-12 || last.Dwell != 0 {
+		t.Fatalf("last sample = %+v, want (ξET=%g, 0)", last, c.XiET)
+	}
+	if c.XiTT >= c.XiET {
+		t.Fatalf("ξTT = %g should beat ξET = %g", c.XiTT, c.XiET)
+	}
+}
+
+func TestNonMonotonicityDetected(t *testing.T) {
+	c, err := nonNormalSystem().SampleCurve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsNonMonotonic() {
+		t.Fatal("non-normal system should produce a non-monotonic dwell curve")
+	}
+	peak := c.PeakSample()
+	if peak.Wait <= 0 {
+		t.Fatalf("peak at wait %g, want interior peak", peak.Wait)
+	}
+	if peak.Dwell <= c.XiTT {
+		t.Fatalf("peak dwell %g not above ξTT %g", peak.Dwell, c.XiTT)
+	}
+}
+
+func TestDiagonalSystemIsMonotonic(t *testing.T) {
+	c, err := diagonalSystem().SampleCurve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.IsNonMonotonic() {
+		t.Fatal("diagonal system should settle monotonically")
+	}
+}
+
+func TestFitModelsDominance(t *testing.T) {
+	c, err := nonNormalSystem().SampleCurve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, cons, simple, err := c.FitModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nm.Dominates(c.Samples, 1e-9) {
+		t.Fatal("non-monotonic model must dominate the sampled curve")
+	}
+	if !cons.Dominates(c.Samples, 1e-9) {
+		t.Fatal("conservative model must dominate the sampled curve")
+	}
+	// The simple monotonic model is unsafe on a non-monotonic curve.
+	if simple.Dominates(c.Samples, 1e-9) {
+		t.Fatal("simple model unexpectedly dominates a non-monotonic curve")
+	}
+	// Conservative is coarser than the non-monotonic fit: larger peak.
+	if cons.MaxDwell() < nm.MaxDwell()-1e-9 {
+		t.Fatalf("ξ′M = %g below ξM = %g", cons.MaxDwell(), nm.MaxDwell())
+	}
+}
+
+func TestNormDimsRestrictsThresholdNorm(t *testing.T) {
+	s := nonNormalSystem()
+	s.NormDims = 1
+	if got := s.Norm([]float64{3, 4}); got != 3 {
+		t.Fatalf("Norm = %g, want 3 (first component only)", got)
+	}
+	s.NormDims = 0
+	if got := s.Norm([]float64{3, 4}); got != 5 {
+		t.Fatalf("Norm = %g, want 5 (full state)", got)
+	}
+}
+
+func TestSampleCurveUnstableErrors(t *testing.T) {
+	s := nonNormalSystem()
+	s.A1 = mat.Diag(1.0, 0.5) // marginally stable: never settles
+	if _, err := s.SampleCurve(0); err == nil {
+		t.Fatal("want error for non-settling system")
+	}
+}
+
+func TestDwellMonotoneWithThreshold(t *testing.T) {
+	// Raising Eth can only shorten (or keep) settling times.
+	s := nonNormalSystem()
+	c1, err := s.SampleCurve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := nonNormalSystem()
+	s2.Eth = 0.3
+	c2, err := s2.SampleCurve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.XiET > c1.XiET || c2.XiTT > c1.XiTT {
+		t.Fatalf("looser threshold must not slow settling: (%g,%g) vs (%g,%g)",
+			c2.XiTT, c2.XiET, c1.XiTT, c1.XiET)
+	}
+}

@@ -1,0 +1,177 @@
+// Package textplot renders the experiment figures as ASCII line plots and
+// CSV tables, replacing the paper's MATLAB figures for terminal use.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot renders the series into a width×height character grid with axis
+// labels. Each series uses its own glyph; overlapping points show the
+// later series.
+func Plot(w io.Writer, title string, series []Series, width, height int) error {
+	if width < 20 || height < 5 {
+		return fmt.Errorf("textplot: grid %d×%d too small", width, height)
+	}
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("textplot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if first {
+				xmin, xmax, ymin, ymax = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if first {
+		return fmt.Errorf("textplot: no data")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	glyphs := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			row := int(math.Round((s.Y[i] - ymin) / (ymax - ymin) * float64(height-1)))
+			grid[height-1-row][col] = g
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], s.Name))
+	}
+	if _, err := fmt.Fprintf(w, "[%s]\n", strings.Join(legend, "   ")); err != nil {
+		return err
+	}
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.3g", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%8.3g", ymin)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s|\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%8s  %-10.3g%s%10.3g\n", "", xmin,
+		strings.Repeat(" ", max(0, width-20)), xmax)
+	return err
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WriteCSV emits the series on a shared row index: the union is not
+// aligned, so each series contributes an x,y column pair.
+func WriteCSV(w io.Writer, series []Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("textplot: no series")
+	}
+	head := make([]string, 0, 2*len(series))
+	rows := 0
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("textplot: series %q x/y length mismatch", s.Name)
+		}
+		head = append(head, s.Name+"_x", s.Name+"_y")
+		if len(s.X) > rows {
+			rows = len(s.X)
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(head, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < rows; i++ {
+		cells := make([]string, 0, 2*len(series))
+		for _, s := range series {
+			if i < len(s.X) {
+				cells = append(cells, fmt.Sprintf("%g", s.X[i]), fmt.Sprintf("%g", s.Y[i]))
+			} else {
+				cells = append(cells, "", "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table renders rows of cells with left-aligned, padded columns.
+func Table(w io.Writer, header []string, rows [][]string) error {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len([]rune(h))
+	}
+	for _, r := range rows {
+		if len(r) != len(header) {
+			return fmt.Errorf("textplot: row has %d cells, want %d", len(r), len(header))
+		}
+		for i, c := range r {
+			if n := len([]rune(c)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	pad := func(s string, n int) string {
+		return s + strings.Repeat(" ", n-len([]rune(s)))
+	}
+	line := make([]string, len(header))
+	for i, h := range header {
+		line[i] = pad(h, widths[i])
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(line, "  ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(header))
+	for i := range header {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(sep, "  ")); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			line[i] = pad(c, widths[i])
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(line, "  ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

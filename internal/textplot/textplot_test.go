@@ -1,0 +1,111 @@
+package textplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	var buf bytes.Buffer
+	s := []Series{{Name: "line", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}}}
+	if err := Plot(&buf, "test", s, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "test") || !strings.Contains(out, "* line") {
+		t.Fatalf("missing title/legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no points plotted")
+	}
+	if len(strings.Split(strings.TrimRight(out, "\n"), "\n")) != 13 {
+		t.Fatalf("unexpected line count:\n%s", out)
+	}
+}
+
+func TestPlotMultiSeriesGlyphs(t *testing.T) {
+	var buf bytes.Buffer
+	s := []Series{
+		{Name: "a", X: []float64{0, 1}, Y: []float64{0, 0}},
+		{Name: "b", X: []float64{0, 1}, Y: []float64{1, 1}},
+	}
+	if err := Plot(&buf, "two", s, 30, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("expected both glyphs:\n%s", out)
+	}
+}
+
+func TestPlotErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Plot(&buf, "x", nil, 40, 10); err == nil {
+		t.Fatal("want error for no data")
+	}
+	if err := Plot(&buf, "x", []Series{{Name: "a", X: []float64{1}, Y: []float64{}}}, 40, 10); err == nil {
+		t.Fatal("want error for mismatched lengths")
+	}
+	if err := Plot(&buf, "x", []Series{{Name: "a", X: []float64{1}, Y: []float64{1}}}, 5, 2); err == nil {
+		t.Fatal("want error for tiny grid")
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	var buf bytes.Buffer
+	s := []Series{{Name: "const", X: []float64{0, 1}, Y: []float64{5, 5}}}
+	if err := Plot(&buf, "flat", s, 30, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	s := []Series{
+		{Name: "a", X: []float64{0, 1}, Y: []float64{2, 3}},
+		{Name: "b", X: []float64{5}, Y: []float64{6}},
+	}
+	if err := WriteCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "a_x,a_y,b_x,b_y" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "0,2,5,6" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "1,3,," {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err == nil {
+		t.Fatal("want error for empty series")
+	}
+	if err := WriteCSV(&buf, []Series{{Name: "a", X: []float64{1}, Y: nil}}); err == nil {
+		t.Fatal("want error for length mismatch")
+	}
+}
+
+func TestTable(t *testing.T) {
+	var buf bytes.Buffer
+	err := Table(&buf, []string{"name", "v"}, [][]string{{"alpha", "1"}, {"b", "22"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "alpha  1") || !strings.Contains(out, "b      22") {
+		t.Fatalf("bad table:\n%s", out)
+	}
+}
+
+func TestTableRowMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table(&buf, []string{"a"}, [][]string{{"1", "2"}}); err == nil {
+		t.Fatal("want error for row width mismatch")
+	}
+}
