@@ -10,7 +10,6 @@
 package cpsdyn_test
 
 import (
-	"sync"
 	"testing"
 
 	"cpsdyn/internal/casestudy"
@@ -19,21 +18,16 @@ import (
 	"cpsdyn/internal/sched"
 )
 
-// sharedFleet caches the calibrated measured-mode fleet: deriving it is the
-// expensive, amortised setup step the paper performs once per case study.
-var (
-	fleetOnce sync.Once
-	fleetVal  []*core.Derived
-	fleetErr  error
-)
-
+// sharedFleet returns the process-wide calibrated measured-mode fleet:
+// deriving it is the expensive, amortised setup step the paper performs once
+// per case study.
 func sharedFleet(b *testing.B) []*core.Derived {
 	b.Helper()
-	fleetOnce.Do(func() { fleetVal, fleetErr = casestudy.DeriveFleet() })
-	if fleetErr != nil {
-		b.Fatal(fleetErr)
+	fleet, err := casestudy.SharedFleet()
+	if err != nil {
+		b.Fatal(err)
 	}
-	return fleetVal
+	return fleet
 }
 
 // BenchmarkTable1PaperMode rebuilds the Table I schedulability view (the
@@ -203,6 +197,64 @@ func BenchmarkAblationExactAllocator(b *testing.B) {
 	slots := 0
 	for i := 0; i < b.N; i++ {
 		al, err := casestudy.PaperAllocation(core.NonMonotonic, sched.Exact, sched.ClosedForm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slots = al.NumSlots()
+	}
+	b.ReportMetric(float64(slots), "slots")
+}
+
+// BenchmarkDeriveFleet measures the concurrent fleet-derivation engine on
+// the calibrated fleet (calibration excluded; the derivation cache is reset
+// each iteration so the matrix exponentials and dwell curves are recomputed
+// rather than served from memory).
+func BenchmarkDeriveFleet(b *testing.B) {
+	fleet := sharedFleet(b)
+	apps := make([]*core.Application, len(fleet))
+	for i, d := range fleet {
+		apps[i] = d.App
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ResetDeriveCache()
+		out, err := core.DeriveFleet(apps, core.FleetOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != len(apps) {
+			b.Fatal("wrong fleet size")
+		}
+	}
+}
+
+// BenchmarkDeriveFleetCached measures the same derivation served from the
+// warm cache — the fleet-workload steady state.
+func BenchmarkDeriveFleetCached(b *testing.B) {
+	fleet := sharedFleet(b)
+	apps := make([]*core.Application, len(fleet))
+	for i, d := range fleet {
+		apps[i] = d.App
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DeriveFleet(apps, core.FleetOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPolicyRace races first-fit, sequential and best-fit concurrently
+// on the Table I workload and reports the winning slot count.
+func BenchmarkPolicyRace(b *testing.B) {
+	apps, err := casestudy.PaperApps(core.NonMonotonic)
+	if err != nil {
+		b.Fatal(err)
+	}
+	slots := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		al, err := sched.AllocateRace(apps, nil, sched.ClosedForm)
 		if err != nil {
 			b.Fatal(err)
 		}

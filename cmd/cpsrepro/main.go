@@ -13,7 +13,12 @@
 //	cpsrepro sweep-kp           ablation: slot gap vs dwell-peak position
 //	cpsrepro random             ablation: random synthetic workloads
 //	cpsrepro methods            ablation: closed form vs fixed point
+//	cpsrepro race               policy race: best allocation across heuristics
 //	cpsrepro all                everything except the CSV dumps
+//
+// The measured-mode commands (table1, fig5) share one calibrated fleet per
+// process: the six controller calibrations run concurrently and the derived
+// artefacts are reused, so "all" calibrates once instead of three times.
 package main
 
 import (
@@ -60,13 +65,15 @@ func main() {
 		err = runRandom()
 	case "methods":
 		err = runMethods()
+	case "race":
+		err = runRace()
 	case "all":
 		for _, f := range []func() error{
 			runWalkthrough, runCaseStudy, runTable1,
 			func() error { return runFig3(false) },
 			func() error { return runFig4(false) },
 			func() error { return runFig5(false) },
-			runSweepKp, runSegments, runRandom, runMethods,
+			runSweepKp, runSegments, runRandom, runMethods, runRace,
 		} {
 			if err = f(); err != nil {
 				break
@@ -86,7 +93,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: cpsrepro <command> [-csv]
 
-commands: walkthrough casestudy table1 fig3 fig4 fig5 sweep-kp segments random methods all`)
+commands: walkthrough casestudy table1 fig3 fig4 fig5 sweep-kp segments random methods race all`)
 }
 
 func runWalkthrough() error {
@@ -125,7 +132,7 @@ func runCaseStudy() error {
 }
 
 func runTable1() error {
-	fmt.Println("== Table I: paper vs measured fleet (this may take ~20 s: controller calibration) ==")
+	fmt.Println("== Table I: paper vs measured fleet (concurrent controller calibration) ==")
 	cmp, err := casestudy.RunTable1()
 	if err != nil {
 		return err
@@ -199,7 +206,7 @@ func runFig4(csv bool) error {
 }
 
 func runFig5(csv bool) error {
-	fmt.Println("== Fig. 5: six-app co-simulation (calibration + event simulation; ~30 s) ==")
+	fmt.Println("== Fig. 5: six-app co-simulation (shared calibrated fleet + event simulation) ==")
 	r, err := casestudy.RunFig5()
 	if err != nil {
 		return err
@@ -285,6 +292,33 @@ func runRandom() error {
 	fmt.Printf("mean saving:              %.1f%%  (max %.0f%%)\n", stats.MeanSavingPercent, stats.MaxSavingPercent)
 	fmt.Printf("non-monotonic never worse: %v\n", stats.NeverWorse)
 	return nil
+}
+
+func runRace() error {
+	fmt.Println("== Policy race: first-fit vs sequential vs best-fit (Table I, both safe models) ==")
+	rows := make([][]string, 0, 2)
+	for _, kind := range []core.ModelKind{core.NonMonotonic, core.ConservativeMonotonic} {
+		apps, err := casestudy.PaperApps(kind)
+		if err != nil {
+			return err
+		}
+		cells := []string{kind.String()}
+		for _, p := range sched.DefaultRacePolicies {
+			al, err := sched.Allocate(apps, p, sched.ClosedForm)
+			if err != nil {
+				return err
+			}
+			cells = append(cells, fmt.Sprintf("%d", al.NumSlots()))
+		}
+		winner, err := sched.AllocateRace(apps, nil, sched.ClosedForm)
+		if err != nil {
+			return err
+		}
+		cells = append(cells, fmt.Sprintf("%d (%s)", winner.NumSlots(), winner.Policy))
+		rows = append(rows, cells)
+	}
+	return textplot.Table(os.Stdout,
+		[]string{"model", "first-fit", "sequential", "best-fit", "race winner"}, rows)
 }
 
 func runMethods() error {

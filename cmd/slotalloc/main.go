@@ -6,7 +6,7 @@
 // Input format (times in seconds):
 //
 //	{
-//	  "policy": "first-fit",          // first-fit | sequential | best-fit | exact
+//	  "policy": "first-fit",          // first-fit | sequential | best-fit | exact | race
 //	  "method": "closed-form",        // closed-form | fixed-point
 //	  "apps": [
 //	    {
@@ -20,6 +20,10 @@
 // Model kinds: "non-monotonic" (ξTT, kp, ξM, ξET), "conservative"
 // (kp, ξM, ξET) and "simple" (ξTT, ξET; UNSAFE — allowed for comparison,
 // flagged in the output).
+//
+// Policy "race" runs first-fit, sequential and best-fit concurrently and
+// keeps the feasible allocation with the fewest slots; the output's policy
+// field names the winning heuristic.
 //
 // Usage: slotalloc [-json] fleet.json   (or "-" for stdin)
 package main
@@ -125,9 +129,14 @@ func run(r io.Reader) (*output, error) {
 	if len(in.Apps) == 0 {
 		return nil, fmt.Errorf("no apps in input")
 	}
-	policy, err := parsePolicy(in.Policy)
-	if err != nil {
-		return nil, err
+	race := in.Policy == "race"
+	var policy sched.Policy
+	var err error
+	if !race {
+		policy, err = parsePolicy(in.Policy)
+		if err != nil {
+			return nil, err
+		}
 	}
 	method, err := parseMethod(in.Method)
 	if err != nil {
@@ -143,13 +152,18 @@ func run(r io.Reader) (*output, error) {
 		unsafe = unsafe || isUnsafe
 		apps = append(apps, &sched.App{Name: ia.Name, R: ia.R, Deadline: ia.Deadline, Model: m})
 	}
-	al, err := sched.Allocate(apps, policy, method)
+	var al *sched.Allocation
+	if race {
+		al, err = sched.AllocateRace(apps, nil, method)
+	} else {
+		al, err = sched.Allocate(apps, policy, method)
+	}
 	if err != nil {
 		return nil, err
 	}
 	out := &output{
 		Slots:  al.NumSlots(),
-		Policy: policy.String(),
+		Policy: al.Policy.String(),
 		Method: method.String(),
 		Unsafe: unsafe,
 	}

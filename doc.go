@@ -6,5 +6,22 @@
 // user-facing pipeline (Application → Derive → AllocateSlots → Verify),
 // internal/casestudy for the §V experiments, and the runnable programs in
 // cmd/cpsrepro and examples/. The root-level bench harness (bench_test.go)
-// regenerates every table and figure of the paper's evaluation.
+// regenerates every table and figure of the paper's evaluation; the
+// benchmark↔artefact mapping is documented in EXPERIMENTS.md.
+//
+// # Fleet-scale derivation
+//
+// Fleet workloads derive many applications that reuse a handful of plant
+// models. core.DeriveFleet fans the per-application Derive calls out across
+// a bounded worker pool (core.FleetOptions.Workers, defaulting to
+// runtime.GOMAXPROCS) and aggregates per-application failures into one
+// joined error. The expensive intermediates — the delay-split matrix
+// exponentials and the exhaustively simulated dwell/wait curves — are
+// memoised in a small thread-safe single-flight cache keyed by the exact
+// plant dynamics and timing, so repeated derivations of identical plants
+// are near-free; cached artefacts are shared between results and must be
+// treated as immutable. sched.AllocateRace (and its core.AllocateSlotsRace
+// bridge) additionally races the first-fit, sequential and best-fit
+// allocation heuristics concurrently and keeps the feasible result with the
+// fewest TT slots.
 package cpsdyn

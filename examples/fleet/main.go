@@ -1,7 +1,8 @@
 // Fleet: the full §V case study. Paper mode reproduces the 3-vs-5 slot
 // headline from Table I; measured mode calibrates six concrete automotive
-// plants against Table I, allocates slots and runs the Fig.-5 FlexRay
-// co-simulation with every disturbance at t = 0.
+// plants against Table I, derives them concurrently through the fleet
+// engine, races the allocation heuristics for the tightest packing, and
+// runs the Fig.-5 FlexRay co-simulation with every disturbance at t = 0.
 package main
 
 import (
@@ -9,6 +10,7 @@ import (
 	"log"
 
 	"cpsdyn/internal/casestudy"
+	"cpsdyn/internal/core"
 	"cpsdyn/internal/sched"
 )
 
@@ -21,25 +23,45 @@ func main() {
 	fmt.Printf("paper mode: non-monotonic %d slots, conservative %d slots (+%.0f%%)\n",
 		cmp.NonMonotonicSlots, cmp.ConservativeSlots, cmp.ExtraPercent)
 
-	// Measured mode: calibrate the six plants and run Fig. 5.
-	fmt.Println("measured mode: calibrating six plants against Table I (~30 s)…")
-	fig5, err := casestudy.RunFig5()
+	// Measured mode: calibrate the six plants concurrently, then derive the
+	// fleet across the worker pool (the derivation cache makes the repeated
+	// plant/timing combinations near-free).
+	fmt.Println("measured mode: calibrating six plants against Table I (concurrent)…")
+	apps, err := casestudy.Fleet()
 	if err != nil {
 		log.Fatal(err)
 	}
-	for s, group := range fig5.Allocation.Slots {
+	fleet, err := core.DeriveFleet(apps, core.FleetOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hits, misses := core.DeriveCacheStats()
+	fmt.Printf("derivation cache: %d hits, %d misses\n", hits, misses)
+
+	// Race the allocation heuristics and keep the tightest packing.
+	alloc, err := core.AllocateSlotsRace(fleet, core.NonMonotonic, nil, sched.ClosedForm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("allocation: %d slots (winning policy: %s)\n", alloc.NumSlots(), alloc.Policy)
+	for s, group := range alloc.Slots {
 		fmt.Printf("  slot %d:", s+1)
 		for _, a := range group {
 			fmt.Printf(" %s", a.Name)
 		}
 		fmt.Println()
 	}
-	for _, d := range fig5.Fleet {
-		ar := fig5.Sim.Apps[d.App.Name]
+
+	res, err := core.Verify(fleet, alloc, casestudy.Fig5Plan())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range fleet {
+		ar := res.Apps[d.App.Name]
 		fmt.Printf("  %s: response %.2f s (ξd %.2f s) met=%v\n",
 			d.App.Name, float64(ar.ResponseTimes[0])/1e9, d.App.Deadline, ar.DeadlineMet)
 	}
-	st := fig5.Sim.BusStats
+	st := res.BusStats
 	fmt.Printf("bus: %d cycles, %d TT frames, %d ET frames, %d wasted TT windows\n",
 		st.Cycles, st.StaticTransmitted, st.DynTransmitted, st.StaticWasted)
 }

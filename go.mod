@@ -1,0 +1,3 @@
+module cpsdyn
+
+go 1.24

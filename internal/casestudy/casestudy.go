@@ -14,9 +14,11 @@
 package casestudy
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 
 	"cpsdyn/internal/core"
 	"cpsdyn/internal/flexray"
@@ -203,16 +205,21 @@ func fleetSpecs() []fleetSpec {
 }
 
 // Fleet builds the six measured-mode applications with controllers
-// calibrated so that (ξTT, ξET) approach the Table I targets.
+// calibrated so that (ξTT, ξET) approach the Table I targets. Each
+// application's calibration search is independent, so the six run
+// concurrently (one goroutine per application; each search is itself
+// sequential), with per-application failures aggregated.
 func Fleet() ([]*core.Application, error) {
 	specs := fleetSpecs()
-	apps := make([]*core.Application, 0, len(specs))
-	for _, s := range specs {
+	apps := make([]*core.Application, len(specs))
+	// Resolve every plant before spawning anything, so an unknown plant
+	// cannot strand calibration goroutines behind an early return.
+	for i, s := range specs {
 		plant, ok := plants.All()[s.plant]
 		if !ok {
 			return nil, fmt.Errorf("casestudy: unknown plant %q", s.plant)
 		}
-		app := &core.Application{
+		apps[i] = &core.Application{
 			Name:     s.row.Name,
 			Plant:    plant,
 			H:        0.020,
@@ -224,10 +231,21 @@ func Fleet() ([]*core.Application, error) {
 			Deadline: s.row.Xid,
 			FrameID:  s.frameID,
 		}
-		if err := calibrate(app, s.row.XiTT, s.row.XiET, s.etOmega); err != nil {
-			return nil, fmt.Errorf("casestudy: %s: %w", s.row.Name, err)
-		}
-		apps = append(apps, app)
+	}
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, s := range specs {
+		wg.Add(1)
+		go func(i int, s fleetSpec) {
+			defer wg.Done()
+			if err := calibrate(apps[i], s.row.XiTT, s.row.XiET, s.etOmega); err != nil {
+				errs[i] = fmt.Errorf("casestudy: %s: %w", s.row.Name, err)
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return apps, nil
 }
@@ -307,21 +325,31 @@ func searchRho(measure func(rho float64) (float64, error), target, h float64) (f
 	return best, nil
 }
 
-// DeriveFleet calibrates and derives all six measured-mode applications.
+// DeriveFleet calibrates and derives all six measured-mode applications
+// through the concurrent fleet engine (default worker count).
 func DeriveFleet() ([]*core.Derived, error) {
 	apps, err := Fleet()
 	if err != nil {
 		return nil, err
 	}
-	fleet := make([]*core.Derived, 0, len(apps))
-	for _, a := range apps {
-		d, err := a.Derive()
-		if err != nil {
-			return nil, err
-		}
-		fleet = append(fleet, d)
-	}
-	return fleet, nil
+	return core.DeriveFleet(apps, core.FleetOptions{})
+}
+
+// The calibrated fleet is deterministic and expensive (~25 s of calibration
+// searches), and §V consumes it from several entry points (Table I, Fig. 5,
+// the slot-count comparison). SharedFleet derives it once per process.
+var (
+	fleetOnce sync.Once
+	fleetVal  []*core.Derived
+	fleetErr  error
+)
+
+// SharedFleet returns the process-wide calibrated measured-mode fleet,
+// deriving it on first use. Callers must treat the result as read-only;
+// anyone needing a private copy should call DeriveFleet instead.
+func SharedFleet() ([]*core.Derived, error) {
+	fleetOnce.Do(func() { fleetVal, fleetErr = DeriveFleet() })
+	return fleetVal, fleetErr
 }
 
 // Table1Comparison pairs the paper's Table I with the measured rows.
@@ -330,9 +358,10 @@ type Table1Comparison struct {
 	Measured []core.TimingRow
 }
 
-// RunTable1 derives the measured fleet and returns both tables.
+// RunTable1 derives the measured fleet (shared across §V entry points) and
+// returns both tables.
 func RunTable1() (*Table1Comparison, error) {
-	fleet, err := DeriveFleet()
+	fleet, err := SharedFleet()
 	if err != nil {
 		return nil, err
 	}
@@ -351,10 +380,22 @@ type Fig5Result struct {
 	Sim        *sim.Result
 }
 
+// Fig5Plan is the Fig.-5 co-simulation scenario: the case-study FlexRay bus,
+// every disturbance injected at t = 0, 14 s of simulated time. Exported so
+// runnable front ends reproduce exactly the scenario the §V test exercises.
+func Fig5Plan() core.SimPlan {
+	return core.SimPlan{
+		Bus:          flexray.CaseStudyConfig(),
+		Duration:     14,
+		JitterBuffer: true,
+		DisturbAllAt: 0,
+	}
+}
+
 // RunFig5 allocates the measured fleet under the non-monotonic model and
 // runs the all-disturbances-at-t-0 FlexRay co-simulation of Fig. 5.
 func RunFig5() (*Fig5Result, error) {
-	fleet, err := DeriveFleet()
+	fleet, err := SharedFleet()
 	if err != nil {
 		return nil, err
 	}
@@ -362,13 +403,7 @@ func RunFig5() (*Fig5Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan := core.SimPlan{
-		Bus:          flexray.CaseStudyConfig(),
-		Duration:     14,
-		JitterBuffer: true,
-		DisturbAllAt: 0,
-	}
-	res, err := core.Verify(fleet, alloc, plan)
+	res, err := core.Verify(fleet, alloc, Fig5Plan())
 	if err != nil {
 		return nil, err
 	}
@@ -378,7 +413,7 @@ func RunFig5() (*Fig5Result, error) {
 // CompareMeasuredSlotCounts runs the measured-mode fleet through both model
 // kinds, mirroring ComparePaperSlotCounts.
 func CompareMeasuredSlotCounts(policy sched.Policy, method sched.Method) (*SlotComparison, error) {
-	fleet, err := DeriveFleet()
+	fleet, err := SharedFleet()
 	if err != nil {
 		return nil, err
 	}

@@ -2,7 +2,6 @@ package casestudy
 
 import (
 	"math"
-	"sync"
 	"testing"
 
 	"cpsdyn/internal/core"
@@ -10,20 +9,27 @@ import (
 )
 
 // Deriving the measured fleet is expensive (calibration + curve sampling);
-// share one instance across tests.
-var (
-	fleetOnce sync.Once
-	fleetVal  []*core.Derived
-	fleetErr  error
-)
-
+// every test shares the process-wide instance, and tests that need it skip
+// under -short.
 func derivedFleet(t *testing.T) []*core.Derived {
 	t.Helper()
-	fleetOnce.Do(func() { fleetVal, fleetErr = DeriveFleet() })
-	if fleetErr != nil {
-		t.Fatal(fleetErr)
+	if testing.Short() {
+		t.Skip("skipping fleet calibration in -short mode")
 	}
-	return fleetVal
+	fleet, err := SharedFleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleet
+}
+
+// skipIfShort guards tests whose setup calibrates controllers (seconds to
+// tens of seconds of simulation search).
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping calibration-heavy test in -short mode")
+	}
 }
 
 func TestTableIShape(t *testing.T) {
@@ -115,6 +121,7 @@ func TestPaperSimpleMonotonicPacksTighter(t *testing.T) {
 }
 
 func TestServoFig3Reproduction(t *testing.T) {
+	skipIfShort(t)
 	r, err := RunFig3()
 	if err != nil {
 		t.Fatal(err)
@@ -137,6 +144,7 @@ func TestServoFig3Reproduction(t *testing.T) {
 }
 
 func TestServoFig4Models(t *testing.T) {
+	skipIfShort(t)
 	r, err := RunFig4()
 	if err != nil {
 		t.Fatal(err)
@@ -177,6 +185,7 @@ func TestMeasuredFleetMatchesTableITimings(t *testing.T) {
 }
 
 func TestMeasuredSlotCountsOrdering(t *testing.T) {
+	skipIfShort(t)
 	c, err := CompareMeasuredSlotCounts(sched.FirstFit, sched.ClosedForm)
 	if err != nil {
 		t.Fatal(err)
@@ -193,6 +202,7 @@ func TestMeasuredSlotCountsOrdering(t *testing.T) {
 // Fig. 5: all six measured apps, disturbed at t = 0, meet their deadlines
 // in the event-level FlexRay co-simulation.
 func TestFig5AllDeadlinesMet(t *testing.T) {
+	skipIfShort(t)
 	r, err := RunFig5()
 	if err != nil {
 		t.Fatal(err)
@@ -271,6 +281,7 @@ func TestRandomWorkloadsValidation(t *testing.T) {
 }
 
 func TestSweepSegmentsTightensSafely(t *testing.T) {
+	skipIfShort(t)
 	pts, err := SweepSegments([]int{2, 4, 8})
 	if err != nil {
 		t.Fatal(err)

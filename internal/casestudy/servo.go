@@ -2,6 +2,7 @@ package casestudy
 
 import (
 	"fmt"
+	"sync"
 
 	"cpsdyn/internal/core"
 	"cpsdyn/internal/plants"
@@ -45,17 +46,33 @@ type Fig3Result struct {
 	Curve *switching.Curve
 }
 
+// The servo calibration is deterministic and feeds both Fig. 3 and Fig. 4;
+// derive it once per process (the dwell curve itself is additionally shared
+// through the core derivation cache).
+var (
+	servoOnce sync.Once
+	servoVal  *core.Derived
+	servoErr  error
+)
+
+func sharedServo() (*core.Derived, error) {
+	servoOnce.Do(func() {
+		var app *core.Application
+		if app, servoErr = ServoApp(); servoErr != nil {
+			return
+		}
+		servoVal, servoErr = app.Derive()
+	})
+	return servoVal, servoErr
+}
+
 // RunFig3 reproduces the Fig.-3 experiment: sample kdw(kwait) on the servo.
 func RunFig3() (*Fig3Result, error) {
-	app, err := ServoApp()
+	d, err := sharedServo()
 	if err != nil {
 		return nil, err
 	}
-	d, err := app.Derive()
-	if err != nil {
-		return nil, err
-	}
-	return &Fig3Result{App: app, Curve: d.Curve}, nil
+	return &Fig3Result{App: d.App, Curve: d.Curve}, nil
 }
 
 // Fig4Result carries the three §III models fitted to the servo curve,
@@ -71,11 +88,7 @@ type Fig4Result struct {
 // conservative monotonic model and the (unsafe) simple monotonic model for
 // the servo application.
 func RunFig4() (*Fig4Result, error) {
-	app, err := ServoApp()
-	if err != nil {
-		return nil, err
-	}
-	d, err := app.Derive()
+	d, err := sharedServo()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"cpsdyn/internal/lti"
+	"cpsdyn/internal/mat"
+	"cpsdyn/internal/switching"
+)
+
+// Derive recomputes two expensive intermediates for every application: the
+// delay-split discretisation (matrix exponentials) and the exhaustively
+// simulated dwell/wait curve. Fleet workloads reuse a handful of plants with
+// identical timing, so both are memoised behind a small bounded cache keyed
+// by the exact bit pattern of the plant matrices and timing parameters.
+// Cached values (*lti.Discrete, *switching.Curve) are shared between Derived
+// results and must be treated as immutable, which every package in this
+// module already does.
+
+// memoEntry is one in-flight or completed computation. Waiters block on
+// ready; the goroutine that created the entry fills val/err and closes it.
+type memoEntry struct {
+	ready chan struct{}
+	val   any
+	err   error
+}
+
+// memoCache is a thread-safe FIFO-bounded memoisation cache with
+// single-flight semantics: concurrent requests for the same key share one
+// computation. Failed computations are not retained.
+type memoCache struct {
+	mu     sync.Mutex
+	cap    int
+	m      map[string]*memoEntry
+	order  []string // insertion order for FIFO eviction
+	hits   uint64
+	misses uint64
+}
+
+func newMemoCache(capacity int) *memoCache {
+	return &memoCache{cap: capacity, m: make(map[string]*memoEntry)}
+}
+
+func (c *memoCache) get(key string, compute func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		// Count the hit only once the entry actually served a value, so
+		// stats are not inflated by waiters on failed computations.
+		if e.err == nil {
+			c.mu.Lock()
+			c.hits++
+			c.mu.Unlock()
+		}
+		return e.val, e.err
+	}
+	c.misses++
+	e := &memoEntry{ready: make(chan struct{})}
+	c.m[key] = e
+	c.order = append(c.order, key)
+	for len(c.order) > c.cap {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		// Evicting an in-flight entry is safe: waiters hold the entry
+		// pointer and only the map forgets it.
+		delete(c.m, oldest)
+	}
+	c.mu.Unlock()
+
+	e.val, e.err = compute()
+	close(e.ready)
+	if e.err != nil {
+		c.mu.Lock()
+		if cur, ok := c.m[key]; ok && cur == e {
+			delete(c.m, key)
+			for i, k := range c.order {
+				if k == key {
+					c.order = append(c.order[:i], c.order[i+1:]...)
+					break
+				}
+			}
+		}
+		c.mu.Unlock()
+	}
+	return e.val, e.err
+}
+
+func (c *memoCache) stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+func (c *memoCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = make(map[string]*memoEntry)
+	c.order = nil
+	c.hits, c.misses = 0, 0
+}
+
+// deriveCache holds discretisations and dwell curves across Derive calls.
+// 128 entries comfortably covers a fleet reusing a few dozen plant/timing
+// combinations (each application contributes two discretisations and one
+// curve) while bounding memory for adversarial workloads.
+var deriveCache = newMemoCache(128)
+
+// DeriveCacheStats reports the hit/miss counters of the shared derivation
+// cache — useful for verifying that a fleet workload actually reuses its
+// plants.
+func DeriveCacheStats() (hits, misses uint64) { return deriveCache.stats() }
+
+// ResetDeriveCache empties the shared derivation cache and its counters.
+func ResetDeriveCache() { deriveCache.reset() }
+
+// keyFloat appends the exact bit pattern of v, so keys distinguish values
+// that differ below formatting precision (and collapse ±0 distinctions no
+// computation here depends on).
+func keyFloat(b *strings.Builder, v float64) {
+	fmt.Fprintf(b, "%016x;", math.Float64bits(v))
+}
+
+func keyMatrix(b *strings.Builder, m *mat.Matrix) {
+	if m == nil {
+		b.WriteString("nil|")
+		return
+	}
+	fmt.Fprintf(b, "%dx%d:", m.Rows(), m.Cols())
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			keyFloat(b, m.At(i, j))
+		}
+	}
+	b.WriteByte('|')
+}
+
+func keyVec(b *strings.Builder, v []float64) {
+	fmt.Fprintf(b, "v%d:", len(v))
+	for _, x := range v {
+		keyFloat(b, x)
+	}
+	b.WriteByte('|')
+}
+
+// cachedDiscretize memoises lti.Discretize on (plant, h, d). The plant name
+// participates in the key because it is carried into the Discrete.
+func cachedDiscretize(c *lti.Continuous, h, d float64) (*lti.Discrete, error) {
+	var b strings.Builder
+	b.WriteString("disc|")
+	b.WriteString(c.Name)
+	b.WriteByte('|')
+	keyMatrix(&b, c.A)
+	keyMatrix(&b, c.B)
+	keyMatrix(&b, c.C)
+	keyFloat(&b, h)
+	keyFloat(&b, d)
+	v, err := deriveCache.get(b.String(), func() (any, error) {
+		return lti.Discretize(c, h, d)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*lti.Discrete), nil
+}
+
+// cachedSampleCurve memoises the exhaustive dwell/wait sampling on the
+// switched system's dynamics (the name is excluded: the Curve does not carry
+// it, so identical dynamics under different names share one sampling).
+func cachedSampleCurve(s *switching.System, horizon int) (*switching.Curve, error) {
+	var b strings.Builder
+	b.WriteString("curve|")
+	keyMatrix(&b, s.A1)
+	keyMatrix(&b, s.A2)
+	keyVec(&b, s.X0)
+	keyFloat(&b, s.Eth)
+	keyFloat(&b, s.H)
+	fmt.Fprintf(&b, "n%d;h%d", s.NormDims, horizon)
+	v, err := deriveCache.get(b.String(), func() (any, error) {
+		return s.SampleCurve(horizon)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*switching.Curve), nil
+}

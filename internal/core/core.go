@@ -112,16 +112,23 @@ type Derived struct {
 
 // Derive designs both controllers, forms the switched closed loops, samples
 // the dwell/wait curve and fits the three §III models.
+//
+// The discretisations and the dwell-curve sampling are memoised in a shared
+// thread-safe cache keyed by the plant dynamics and timing, so repeated
+// derivations of identical plants (fleets reuse a few plant models heavily)
+// are near-free; see DeriveFleet for the concurrent fleet entry point. The
+// cached intermediates are shared between Derived values and must not be
+// mutated.
 func (a *Application) Derive() (*Derived, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
 	d := &Derived{App: a}
 	var err error
-	if d.DiscTT, err = lti.Discretize(a.Plant, a.H, a.DelayTT); err != nil {
+	if d.DiscTT, err = cachedDiscretize(a.Plant, a.H, a.DelayTT); err != nil {
 		return nil, err
 	}
-	if d.DiscET, err = lti.Discretize(a.Plant, a.H, a.DelayET); err != nil {
+	if d.DiscET, err = cachedDiscretize(a.Plant, a.H, a.DelayET); err != nil {
 		return nil, err
 	}
 	if d.KTT, err = a.designGain(d.DiscTT, a.PolesTT, a.QTT, a.RTT); err != nil {
@@ -149,7 +156,7 @@ func (a *Application) Derive() (*Derived, error) {
 		NormDims: a.Plant.Order(),
 		H:        a.H,
 	}
-	if d.Curve, err = d.Sys.SampleCurve(0); err != nil {
+	if d.Curve, err = cachedSampleCurve(d.Sys, 0); err != nil {
 		return nil, err
 	}
 	if d.NonMono, d.Conservative, d.Simple, err = d.Curve.FitModels(); err != nil {
@@ -185,11 +192,11 @@ func (a *Application) ProbeSettle() (xiTT, xiET float64, err error) {
 	if err := a.Validate(); err != nil {
 		return 0, 0, err
 	}
-	discTT, err := lti.Discretize(a.Plant, a.H, a.DelayTT)
+	discTT, err := cachedDiscretize(a.Plant, a.H, a.DelayTT)
 	if err != nil {
 		return 0, 0, err
 	}
-	discET, err := lti.Discretize(a.Plant, a.H, a.DelayET)
+	discET, err := cachedDiscretize(a.Plant, a.H, a.DelayET)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -319,13 +326,9 @@ func (d *Derived) TimingRow() TimingRow {
 // AllocateSlots runs the §IV analysis for the fleet under the chosen model
 // kind, allocation policy and wait-time method.
 func AllocateSlots(fleet []*Derived, kind ModelKind, policy sched.Policy, method sched.Method) (*sched.Allocation, error) {
-	apps := make([]*sched.App, 0, len(fleet))
-	for _, d := range fleet {
-		sa, err := d.SchedApp(kind)
-		if err != nil {
-			return nil, err
-		}
-		apps = append(apps, sa)
+	apps, err := schedApps(fleet, kind)
+	if err != nil {
+		return nil, err
 	}
 	return sched.Allocate(apps, policy, method)
 }

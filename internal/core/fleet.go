@@ -1,0 +1,89 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"cpsdyn/internal/sched"
+)
+
+// FleetOptions tunes the concurrent fleet-derivation engine.
+type FleetOptions struct {
+	// Workers bounds the number of applications derived concurrently.
+	// Zero or negative selects runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+func (o FleetOptions) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// DeriveFleet derives every application of a fleet across a bounded worker
+// pool. Results keep the input order and are identical to calling
+// (*Application).Derive sequentially — derivation is deterministic and the
+// expensive intermediates are memoised centrally, so identical plants are
+// derived once no matter which worker gets them.
+//
+// All applications are attempted even when some fail; the per-application
+// errors are aggregated with errors.Join, so a single poisoned application
+// reports precisely while the rest of the fleet still validates.
+func DeriveFleet(apps []*Application, opts FleetOptions) ([]*Derived, error) {
+	out := make([]*Derived, len(apps))
+	if len(apps) == 0 {
+		return out, nil
+	}
+	errs := make([]error, len(apps))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.workers(len(apps)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i], errs[i] = apps[i].Derive()
+			}
+		}()
+	}
+	for i := range apps {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// schedApps bridges a derived fleet to the schedulability layer.
+func schedApps(fleet []*Derived, kind ModelKind) ([]*sched.App, error) {
+	apps := make([]*sched.App, 0, len(fleet))
+	for _, d := range fleet {
+		sa, err := d.SchedApp(kind)
+		if err != nil {
+			return nil, err
+		}
+		apps = append(apps, sa)
+	}
+	return apps, nil
+}
+
+// AllocateSlotsRace races several allocation policies concurrently over the
+// fleet and returns the feasible allocation using the fewest TT slots (ties
+// go to the earlier policy). A nil or empty policies slice races
+// sched.DefaultRacePolicies.
+func AllocateSlotsRace(fleet []*Derived, kind ModelKind, policies []sched.Policy, method sched.Method) (*sched.Allocation, error) {
+	apps, err := schedApps(fleet, kind)
+	if err != nil {
+		return nil, err
+	}
+	return sched.AllocateRace(apps, policies, method)
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cpsdyn/internal/sched"
+)
+
+func fleetApps() []*Application {
+	return []*Application{
+		servoApp("A", 1, 2.0),
+		servoApp("B", 2, 4.0),
+		servoApp("C", 3, 6.0),
+		servoApp("D", 4, 7.0),
+	}
+}
+
+// The concurrent engine must produce exactly what sequential Derive does,
+// in input order, for any worker count.
+func TestDeriveFleetMatchesSequential(t *testing.T) {
+	apps := fleetApps()
+	want := make([]*Derived, len(apps))
+	for i, a := range apps {
+		d, err := a.Derive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = d
+	}
+	for _, workers := range []int{0, 1, 2, 16} {
+		got, err := DeriveFleet(apps, FleetOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].App != apps[i] {
+				t.Fatalf("workers=%d: result %d lost input order", workers, i)
+			}
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("workers=%d: result %d differs from sequential Derive", workers, i)
+			}
+		}
+	}
+}
+
+// A poisoned application must not sink the diagnostics of the others: every
+// failure is reported, successes are discarded, and the error names each
+// offending app.
+func TestDeriveFleetAggregatesErrors(t *testing.T) {
+	apps := fleetApps()
+	apps[1].H = 0                                  // invalid sampling period
+	apps[3].PolesTT = []complex128{1.5, 0.6, 0.05} // unstable design
+	out, err := DeriveFleet(apps, FleetOptions{Workers: 2})
+	if err == nil {
+		t.Fatal("want error for poisoned fleet")
+	}
+	if out != nil {
+		t.Fatal("want nil results on error")
+	}
+	for _, frag := range []string{`app "B"`, "switching: D:"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error does not mention %q: %v", frag, err)
+		}
+	}
+	if strings.Contains(err.Error(), `"A"`) || strings.Contains(err.Error(), `"C"`) {
+		t.Errorf("error mentions healthy apps: %v", err)
+	}
+	// The joined error must expose the individual errors to errors.As/Is
+	// unwrapping (errors.Join contract).
+	var joined interface{ Unwrap() []error }
+	if !errors.As(err, &joined) || len(joined.Unwrap()) != 2 {
+		t.Fatalf("want a joined error with 2 members, got %T: %v", err, err)
+	}
+}
+
+func TestDeriveFleetEmpty(t *testing.T) {
+	out, err := DeriveFleet(nil, FleetOptions{})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty fleet: out=%v err=%v", out, err)
+	}
+}
+
+// Identical plant/timing pairs must be computed once: the second app's
+// discretisations and dwell curve come from the cache.
+func TestDeriveCacheMemoizesIdenticalPlants(t *testing.T) {
+	ResetDeriveCache()
+	apps := []*Application{servoApp("A", 1, 3), servoApp("B", 2, 3)}
+	fleet, err := DeriveFleet(apps, FleetOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := DeriveCacheStats()
+	// 2 discretisations + 1 curve computed; the twin app hits all three.
+	if misses != 3 {
+		t.Fatalf("misses = %d, want 3 (2 discretisations + 1 curve)", misses)
+	}
+	if hits < 3 {
+		t.Fatalf("hits = %d, want ≥ 3 for the identical twin app", hits)
+	}
+	// Cache hits share the immutable intermediates outright.
+	if fleet[0].Curve != fleet[1].Curve {
+		t.Fatal("identical dynamics should share one cached dwell curve")
+	}
+	if fleet[0].DiscTT != fleet[1].DiscTT || fleet[0].DiscET != fleet[1].DiscET {
+		t.Fatal("identical plant+timing should share cached discretisations")
+	}
+}
+
+// Derive must behave identically whether or not its intermediates are
+// already cached.
+func TestDeriveColdVsWarmCache(t *testing.T) {
+	ResetDeriveCache()
+	cold, err := servoApp("servo", 1, 3).Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := servoApp("servo", 1, 3).Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold.Curve, warm.Curve) || !reflect.DeepEqual(cold.KTT, warm.KTT) {
+		t.Fatal("warm-cache Derive differs from cold")
+	}
+}
+
+func TestMemoCacheEvictsFIFO(t *testing.T) {
+	c := newMemoCache(2)
+	calls := 0
+	get := func(key string) {
+		t.Helper()
+		if _, err := c.get(key, func() (any, error) { calls++; return key, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("a")
+	get("b")
+	get("a") // hit
+	get("c") // evicts "a" (FIFO)
+	get("a") // recomputed
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4 (a, b, c, a-again)", calls)
+	}
+	hits, misses := c.stats()
+	if hits != 1 || misses != 4 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/4", hits, misses)
+	}
+}
+
+func TestMemoCacheDoesNotCacheErrors(t *testing.T) {
+	c := newMemoCache(4)
+	calls := 0
+	fail := func() (any, error) { calls++; return nil, errors.New("boom") }
+	if _, err := c.get("k", fail); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := c.get("k", fail); err == nil {
+		t.Fatal("want error on retry")
+	}
+	if calls != 2 {
+		t.Fatalf("failed computation was cached (calls = %d)", calls)
+	}
+}
+
+func TestAllocateSlotsRace(t *testing.T) {
+	fleet, err := DeriveFleet(fleetApps(), FleetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raced, err := AllocateSlotsRace(fleet, NonMonotonic, nil, sched.ClosedForm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := raced.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The race winner can never use more slots than any single contender.
+	for _, p := range sched.DefaultRacePolicies {
+		al, err := AllocateSlots(fleet, NonMonotonic, p, sched.ClosedForm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raced.NumSlots() > al.NumSlots() {
+			t.Fatalf("race used %d slots, %v alone used %d", raced.NumSlots(), p, al.NumSlots())
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// DefaultRacePolicies is the contender set AllocateRace uses when the caller
+// passes none: every polynomial-time heuristic (Exact is excluded — it is
+// exponential and already optimal, so racing it is pointless).
+var DefaultRacePolicies = []Policy{FirstFit, Sequential, BestFit}
+
+// AllocateRace runs one allocation per policy concurrently and returns the
+// feasible result that uses the fewest TT slots. No single heuristic
+// dominates: first-fit and best-fit usually tie, but the paper's sequential
+// procedure occasionally beats first-fit on adversarial orderings (and vice
+// versa), so racing all of them buys the best packing for one slot-count of
+// extra latency instead of three.
+//
+// Ties are broken in favour of the earlier policy in the list, which makes
+// the result deterministic. A nil or empty policies slice races
+// DefaultRacePolicies. If every policy fails, the individual errors are
+// joined.
+func AllocateRace(apps []*App, policies []Policy, method Method) (*Allocation, error) {
+	if len(policies) == 0 {
+		policies = DefaultRacePolicies
+	}
+	allocs := make([]*Allocation, len(policies))
+	errs := make([]error, len(policies))
+	var wg sync.WaitGroup
+	for i, p := range policies {
+		wg.Add(1)
+		go func(i int, p Policy) {
+			defer wg.Done()
+			allocs[i], errs[i] = Allocate(apps, p, method)
+		}(i, p)
+	}
+	wg.Wait()
+	best := -1
+	for i, al := range allocs {
+		if errs[i] != nil {
+			continue
+		}
+		if best < 0 || al.NumSlots() < allocs[best].NumSlots() {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("sched: no raced policy produced a feasible allocation: %w", errors.Join(errs...))
+	}
+	return allocs[best], nil
+}

@@ -1,0 +1,92 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"cpsdyn/internal/pwl"
+)
+
+// The race winner must match the best individual heuristic on the Table I
+// workload, and its result must survive re-verification.
+func TestAllocateRaceMatchesBestPolicy(t *testing.T) {
+	for _, build := range []func(testing.TB) []*App{paperApps, paperAppsConservative} {
+		apps := build(t)
+		best := -1
+		for _, p := range DefaultRacePolicies {
+			al, err := Allocate(apps, p, ClosedForm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if best < 0 || al.NumSlots() < best {
+				best = al.NumSlots()
+			}
+		}
+		raced, err := AllocateRace(apps, nil, ClosedForm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raced.NumSlots() != best {
+			t.Fatalf("race used %d slots, best individual policy used %d", raced.NumSlots(), best)
+		}
+		if err := raced.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Racing is deterministic: repeated runs return the same policy and the
+// same slot assignment (ties break towards the earlier policy).
+func TestAllocateRaceDeterministic(t *testing.T) {
+	apps := paperApps(t)
+	first, err := AllocateRace(apps, nil, ClosedForm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := AllocateRace(apps, nil, ClosedForm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Policy != first.Policy || again.NumSlots() != first.NumSlots() {
+			t.Fatalf("run %d: policy %v/%d slots, first run %v/%d",
+				i, again.Policy, again.NumSlots(), first.Policy, first.NumSlots())
+		}
+		for _, a := range apps {
+			if again.SlotOf(a.Name) != first.SlotOf(a.Name) {
+				t.Fatalf("run %d: %s moved slots between runs", i, a.Name)
+			}
+		}
+	}
+}
+
+// An explicit single-policy race degenerates to plain Allocate.
+func TestAllocateRaceSinglePolicy(t *testing.T) {
+	apps := paperApps(t)
+	raced, err := AllocateRace(apps, []Policy{Sequential}, ClosedForm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Allocate(apps, Sequential, ClosedForm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raced.Policy != Sequential || raced.NumSlots() != plain.NumSlots() {
+		t.Fatalf("single-policy race diverged: %v/%d vs %d", raced.Policy, raced.NumSlots(), plain.NumSlots())
+	}
+}
+
+// When no policy can place an app (unschedulable even alone), the joined
+// error surfaces each policy's failure.
+func TestAllocateRaceAllFail(t *testing.T) {
+	m, err := pwl.SimpleMonotonic(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := []*App{{Name: "doomed", R: 20, Deadline: 1, Model: m}} // ξTT = 5 > ξd = 1
+	if _, err := AllocateRace(apps, nil, ClosedForm); err == nil {
+		t.Fatal("want error when every policy fails")
+	} else if !strings.Contains(err.Error(), "doomed") {
+		t.Fatalf("error does not name the unschedulable app: %v", err)
+	}
+}
