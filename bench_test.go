@@ -262,3 +262,27 @@ func BenchmarkPolicyRace(b *testing.B) {
 	}
 	b.ReportMetric(float64(slots), "slots")
 }
+
+// BenchmarkAllocateBatch allocates many independent copies of the Table I
+// fleet concurrently — the slotalloc/service batch path — and reports the
+// batch width.
+func BenchmarkAllocateBatch(b *testing.B) {
+	apps, err := casestudy.PaperApps(core.NonMonotonic)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const fleets = 16
+	specs := make([]sched.BatchSpec, fleets)
+	for i := range specs {
+		specs[i] = sched.BatchSpec{Apps: apps, Race: true, Method: sched.ClosedForm}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range sched.AllocateBatch(specs, 0) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	b.ReportMetric(fleets, "fleets")
+}

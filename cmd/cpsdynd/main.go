@@ -1,0 +1,100 @@
+// Command cpsdynd is the long-running derivation service: the full
+// derive → model-fit → allocate pipeline of the paper behind an HTTP/JSON
+// API, with the expensive intermediates (matrix exponentials, exhaustive
+// dwell-curve simulations) memoised in a process-wide size-aware LRU cache
+// that stays warm across requests.
+//
+// Endpoints:
+//
+//	POST /v1/derive    batch fleet derivation (service.DeriveRequest):
+//	                   plants + timing in, Table-I-style rows and fitted
+//	                   §III models out
+//	POST /v1/allocate  TT-slot allocation for one fleet (slotalloc's input
+//	                   schema) or a {"fleets": [...]} batch, each fleet
+//	                   allocated concurrently; "policy": "race" races the
+//	                   heuristics per fleet
+//	GET  /healthz      liveness probe
+//	GET  /statsz       derivation-cache hit/miss/eviction counters and
+//	                   server in-flight/timeout counters
+//
+// Concurrency is bounded by -max-inflight (excess requests queue and are
+// rejected 503 once their deadline passes), each request gets a
+// -timeout compute budget (504 on overrun; the computation still finishes
+// in the background and warms the cache), and SIGINT/SIGTERM trigger a
+// graceful drain.
+//
+// Usage: cpsdynd [-addr :8700] [-cache-entries 1024] [-cache-bytes N]
+// [-max-inflight N] [-timeout 60s] [-workers N]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cpsdyn/internal/core"
+	"cpsdyn/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8700", "listen address")
+		cacheEntries = flag.Int("cache-entries", 1024, "derivation cache capacity in entries (clamped to ≥ 1)")
+		cacheBytes   = flag.Int64("cache-bytes", 0, "derivation cache budget in approximate bytes (0 = unbounded)")
+		maxInFlight  = flag.Int("max-inflight", 0, "maximum concurrently computing requests (0 = 2×GOMAXPROCS)")
+		timeout      = flag.Duration("timeout", 60*time.Second, "per-request compute budget")
+		workers      = flag.Int("workers", 0, "per-request derivation/allocation workers (0 = GOMAXPROCS)")
+		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: cpsdynd [flags]")
+		os.Exit(2)
+	}
+
+	core.SetDeriveCacheCapacity(*cacheEntries, *cacheBytes)
+	handler := service.New(service.Config{
+		MaxInFlight: *maxInFlight,
+		Timeout:     *timeout,
+		Workers:     *workers,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("cpsdynd: listening on %s (cache %d entries / %d bytes)", *addr, *cacheEntries, *cacheBytes)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("cpsdynd: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("cpsdynd: shutting down (drain %s)…", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("cpsdynd: shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("cpsdynd: %v", err)
+	}
+	st := core.DeriveCacheStats()
+	log.Printf("cpsdynd: bye (cache: %d hits, %d misses, %d evictions)", st.Hits, st.Misses, st.Evictions)
+}

@@ -1,9 +1,10 @@
-// Command slotalloc reads a fleet description from JSON and computes the
-// minimum TT-slot allocation with the paper's schedulability analysis —
-// the practical front door for using this library on your own timing data
-// (e.g. parameters measured on a real ECU network).
+// Command slotalloc reads one or many fleet descriptions from JSON and
+// computes the minimum TT-slot allocation with the paper's schedulability
+// analysis — the practical front door for using this library on your own
+// timing data (e.g. parameters measured on a real ECU network). It shares
+// its request codec with the cpsdynd service's POST /v1/allocate endpoint.
 //
-// Input format (times in seconds):
+// Single-fleet input (times in seconds):
 //
 //	{
 //	  "policy": "first-fit",          // first-fit | sequential | best-fit | exact | race
@@ -17,13 +18,27 @@
 //	  ]
 //	}
 //
+// Batch input wraps any number of such fleets (each with its own policy
+// and method) in a "fleets" array; they are allocated concurrently across
+// a worker pool and reported in input order:
+//
+//	{"fleets": [
+//	  {"name": "variant-A", "policy": "race", "apps": [...]},
+//	  {"name": "variant-B", "policy": "exact", "apps": [...]}
+//	]}
+//
 // Model kinds: "non-monotonic" (ξTT, kp, ξM, ξET), "conservative"
 // (kp, ξM, ξET) and "simple" (ξTT, ξET; UNSAFE — allowed for comparison,
 // flagged in the output).
 //
 // Policy "race" runs first-fit, sequential and best-fit concurrently and
 // keeps the feasible allocation with the fewest slots; the output's policy
-// field names the winning heuristic.
+// field names the winning heuristic. Per-app results are always emitted in
+// input order (not slot order), so outputs diff cleanly across policies.
+//
+// In a batch, one infeasible fleet does not abort the others: its result
+// carries an "error" field and the exit status is 1 after all fleets are
+// reported.
 //
 // Usage: slotalloc [-json] fleet.json   (or "-" for stdin)
 package main
@@ -35,47 +50,16 @@ import (
 	"io"
 	"os"
 
-	"cpsdyn/internal/pwl"
-	"cpsdyn/internal/sched"
+	"cpsdyn/internal/service"
 	"cpsdyn/internal/textplot"
 )
 
-type inputModel struct {
-	Kind string  `json:"kind"`
-	XiTT float64 `json:"xiTT"`
-	Kp   float64 `json:"kp"`
-	XiM  float64 `json:"xiM"`
-	XiET float64 `json:"xiET"`
-}
-
-type inputApp struct {
-	Name     string     `json:"name"`
-	R        float64    `json:"r"`
-	Deadline float64    `json:"deadline"`
-	Model    inputModel `json:"model"`
-}
-
-type input struct {
-	Policy string     `json:"policy"`
-	Method string     `json:"method"`
-	Apps   []inputApp `json:"apps"`
-}
-
-type outputApp struct {
-	Name        string  `json:"name"`
-	Slot        int     `json:"slot"`
-	MaxWait     float64 `json:"maxWait"`
-	WCRT        float64 `json:"wcrt"`
-	Deadline    float64 `json:"deadline"`
-	Schedulable bool    `json:"schedulable"`
-}
-
-type output struct {
-	Slots  int         `json:"slots"`
-	Policy string      `json:"policy"`
-	Method string      `json:"method"`
-	Unsafe bool        `json:"unsafeModels,omitempty"`
-	Apps   []outputApp `json:"apps"`
+// batchOutput is the run outcome: the per-fleet results plus whether the
+// input used the single-fleet form (which keeps the original single-object
+// output shape).
+type batchOutput struct {
+	Fleets []*service.FleetResult `json:"fleets"`
+	single bool
 }
 
 func main() {
@@ -103,13 +87,20 @@ func main() {
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		var v any = out
+		if out.single {
+			v = out.Fleets[0]
+		}
+		if err := enc.Encode(v); err != nil {
 			fatal(err)
 		}
-		return
-	}
-	if err := render(os.Stdout, out); err != nil {
+	} else if err := render(os.Stdout, out); err != nil {
 		fatal(err)
+	}
+	for _, fr := range out.Fleets {
+		if fr.Error != "" {
+			os.Exit(1)
+		}
 	}
 }
 
@@ -118,123 +109,59 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// run parses the fleet, allocates slots and analyses each one.
-func run(r io.Reader) (*output, error) {
-	var in input
+// run parses one fleet or a batch, allocates concurrently and analyses
+// every fleet, reporting apps in input order.
+func run(r io.Reader) (*batchOutput, error) {
+	var req service.AllocateRequest
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&in); err != nil {
+	if err := dec.Decode(&req); err != nil {
 		return nil, fmt.Errorf("parsing input: %w", err)
 	}
-	if len(in.Apps) == 0 {
-		return nil, fmt.Errorf("no apps in input")
-	}
-	race := in.Policy == "race"
-	var policy sched.Policy
-	var err error
-	if !race {
-		policy, err = parsePolicy(in.Policy)
-		if err != nil {
-			return nil, err
-		}
-	}
-	method, err := parseMethod(in.Method)
+	fleets, single, err := req.FleetRequests()
 	if err != nil {
 		return nil, err
 	}
-	apps := make([]*sched.App, 0, len(in.Apps))
-	unsafe := false
-	for _, ia := range in.Apps {
-		m, isUnsafe, err := buildModel(ia.Model)
-		if err != nil {
-			return nil, fmt.Errorf("app %q: %w", ia.Name, err)
-		}
-		unsafe = unsafe || isUnsafe
-		apps = append(apps, &sched.App{Name: ia.Name, R: ia.R, Deadline: ia.Deadline, Model: m})
-	}
-	var al *sched.Allocation
-	if race {
-		al, err = sched.AllocateRace(apps, nil, method)
-	} else {
-		al, err = sched.Allocate(apps, policy, method)
-	}
+	results, err := service.AllocateFleets(fleets, 0)
 	if err != nil {
 		return nil, err
 	}
-	out := &output{
-		Slots:  al.NumSlots(),
-		Policy: al.Policy.String(),
-		Method: method.String(),
-		Unsafe: unsafe,
+	if single && results[0].Error != "" {
+		return nil, fmt.Errorf("%s", results[0].Error)
 	}
-	for s, group := range al.Slots {
-		results, _, err := sched.AnalyzeSlot(group, method)
-		if err != nil {
-			return nil, err
+	return &batchOutput{Fleets: results, single: single}, nil
+}
+
+func render(w io.Writer, out *batchOutput) error {
+	for i, fr := range out.Fleets {
+		if !out.single {
+			name := fr.Name
+			if name == "" {
+				name = fmt.Sprintf("#%d", i+1)
+			}
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			fmt.Fprintf(w, "fleet %s\n", name)
 		}
-		for _, res := range results {
-			out.Apps = append(out.Apps, outputApp{
-				Name:        res.App.Name,
-				Slot:        s + 1,
-				MaxWait:     res.MaxWait,
-				WCRT:        res.WCRT,
-				Deadline:    res.App.Deadline,
-				Schedulable: res.Schedulable,
-			})
+		if fr.Error != "" {
+			fmt.Fprintf(w, "ERROR: %s\n", fr.Error)
+			continue
+		}
+		if err := renderFleet(w, fr); err != nil {
+			return err
 		}
 	}
-	return out, nil
+	return nil
 }
 
-func parsePolicy(s string) (sched.Policy, error) {
-	switch s {
-	case "", "first-fit":
-		return sched.FirstFit, nil
-	case "sequential":
-		return sched.Sequential, nil
-	case "best-fit":
-		return sched.BestFit, nil
-	case "exact":
-		return sched.Exact, nil
-	default:
-		return 0, fmt.Errorf("unknown policy %q", s)
-	}
-}
-
-func parseMethod(s string) (sched.Method, error) {
-	switch s {
-	case "", "closed-form":
-		return sched.ClosedForm, nil
-	case "fixed-point":
-		return sched.FixedPoint, nil
-	default:
-		return 0, fmt.Errorf("unknown method %q", s)
-	}
-}
-
-func buildModel(m inputModel) (model *pwl.Model, unsafe bool, err error) {
-	switch m.Kind {
-	case "non-monotonic":
-		model, err = pwl.PaperNonMonotonic(m.XiTT, m.Kp, m.XiM, m.XiET)
-		return model, false, err
-	case "conservative":
-		model, err = pwl.PaperConservative(m.Kp, m.XiM, m.XiET)
-		return model, false, err
-	case "simple":
-		model, err = pwl.SimpleMonotonic(m.XiTT, m.XiET)
-		return model, true, err
-	default:
-		return nil, false, fmt.Errorf("unknown model kind %q", m.Kind)
-	}
-}
-
-func render(w io.Writer, out *output) error {
-	fmt.Fprintf(w, "slots: %d  (policy %s, method %s)\n", out.Slots, out.Policy, out.Method)
-	if out.Unsafe {
+func renderFleet(w io.Writer, fr *service.FleetResult) error {
+	fmt.Fprintf(w, "slots: %d  (policy %s, method %s)\n", fr.Slots, fr.Policy, fr.Method)
+	if fr.Unsafe {
 		fmt.Fprintln(w, "WARNING: input uses the simple monotonic model, which can under-estimate response times")
 	}
-	rows := make([][]string, 0, len(out.Apps))
-	for _, a := range out.Apps {
+	rows := make([][]string, 0, len(fr.Apps))
+	for _, a := range fr.Apps {
 		rows = append(rows, []string{
 			a.Name,
 			fmt.Sprintf("%d", a.Slot),

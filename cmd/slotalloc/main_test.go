@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
+
+	"cpsdyn/internal/service"
 )
 
 // tableIJSON is the paper's Table I in slotalloc's input format.
@@ -26,11 +29,21 @@ const tableIJSON = `{
   ]
 }`
 
-func TestRunTableI(t *testing.T) {
-	out, err := run(strings.NewReader(tableIJSON))
+// runOne runs a single-fleet input and returns its result.
+func runOne(t *testing.T, in string) *service.FleetResult {
+	t.Helper()
+	out, err := run(strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
 	}
+	if !out.single || len(out.Fleets) != 1 {
+		t.Fatalf("single-fleet input produced %d fleets (single=%v)", len(out.Fleets), out.single)
+	}
+	return out.Fleets[0]
+}
+
+func TestRunTableI(t *testing.T) {
+	out := runOne(t, tableIJSON)
 	if out.Slots != 3 {
 		t.Fatalf("slots = %d, want 3 (the paper's result)", out.Slots)
 	}
@@ -44,24 +57,80 @@ func TestRunTableI(t *testing.T) {
 	}
 }
 
-func TestRunConservativeNeedsFive(t *testing.T) {
-	j := strings.ReplaceAll(tableIJSON, `"kind":"non-monotonic"`, `"kind":"conservative"`)
-	out, err := run(strings.NewReader(j))
+// Regression: results used to be emitted grouped by slot, so the JSON
+// output order depended on the winning policy's packing. Apps must come
+// back in input order for every policy, making outputs diffable across
+// policy values.
+func TestRunOutputKeepsInputOrder(t *testing.T) {
+	want := []string{"C1", "C2", "C3", "C4", "C5", "C6"}
+	for _, policy := range []string{"first-fit", "sequential", "best-fit", "exact", "race"} {
+		in := strings.ReplaceAll(tableIJSON, `"policy": "first-fit"`, fmt.Sprintf("%q: %q", "policy", policy))
+		out := runOne(t, in)
+		var got []string
+		for _, a := range out.Apps {
+			got = append(got, a.Name)
+		}
+		if strings.Join(got, ",") != strings.Join(want, ",") {
+			t.Fatalf("policy %s: app order %v, want input order %v", policy, got, want)
+		}
+	}
+}
+
+func TestRunBatchFleets(t *testing.T) {
+	conservative := strings.ReplaceAll(tableIJSON, `"kind":"non-monotonic"`, `"kind":"conservative"`)
+	in := fmt.Sprintf(`{"fleets":[%s,%s]}`,
+		strings.Replace(tableIJSON, "{", `{"name":"nonmono",`, 1),
+		strings.Replace(conservative, "{", `{"name":"cons",`, 1))
+	out, err := run(strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Slots != 5 {
+	if out.single || len(out.Fleets) != 2 {
+		t.Fatalf("batch input produced %d fleets (single=%v)", len(out.Fleets), out.single)
+	}
+	if out.Fleets[0].Name != "nonmono" || out.Fleets[0].Slots != 3 {
+		t.Fatalf("fleet 0 = %q with %d slots, want nonmono/3", out.Fleets[0].Name, out.Fleets[0].Slots)
+	}
+	if out.Fleets[1].Name != "cons" || out.Fleets[1].Slots != 5 {
+		t.Fatalf("fleet 1 = %q with %d slots, want cons/5", out.Fleets[1].Name, out.Fleets[1].Slots)
+	}
+}
+
+// A batch with one infeasible fleet still reports the healthy one; the
+// infeasible fleet carries its error in-band.
+func TestRunBatchIsolatesInfeasibleFleet(t *testing.T) {
+	in := fmt.Sprintf(`{"fleets":[%s,
+	  {"name":"doomed","apps":[{"name":"a","r":10,"deadline":0.1,
+	    "model":{"kind":"non-monotonic","xiTT":1,"kp":2,"xiM":3,"xiET":5}}]}]}`, tableIJSON)
+	out, err := run(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Fleets[0].Error != "" || out.Fleets[0].Slots != 3 {
+		t.Fatalf("healthy fleet: %+v", out.Fleets[0])
+	}
+	if out.Fleets[1].Error == "" {
+		t.Fatal("doomed fleet must carry its error")
+	}
+	var buf bytes.Buffer
+	if err := render(&buf, out); err != nil {
+		t.Fatal(err)
+	}
+	if s := buf.String(); !strings.Contains(s, "fleet doomed") || !strings.Contains(s, "ERROR:") {
+		t.Fatalf("render output:\n%s", s)
+	}
+}
+
+func TestRunConservativeNeedsFive(t *testing.T) {
+	j := strings.ReplaceAll(tableIJSON, `"kind":"non-monotonic"`, `"kind":"conservative"`)
+	if out := runOne(t, j); out.Slots != 5 {
 		t.Fatalf("conservative slots = %d, want 5", out.Slots)
 	}
 }
 
 func TestRunSimpleFlagsUnsafe(t *testing.T) {
 	j := strings.ReplaceAll(tableIJSON, `"kind":"non-monotonic"`, `"kind":"simple"`)
-	out, err := run(strings.NewReader(j))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !out.Unsafe {
+	if out := runOne(t, j); !out.Unsafe {
 		t.Fatal("simple models must be flagged unsafe")
 	}
 }
@@ -77,6 +146,10 @@ func TestRunErrors(t *testing.T) {
 		{"bad kind", `{"apps":[{"name":"a","r":1,"deadline":1,"model":{"kind":"nope"}}]}`},
 		{"unknown field", `{"apps":[],"wat":1}`},
 		{"unschedulable", `{"apps":[{"name":"a","r":10,"deadline":0.1,"model":{"kind":"non-monotonic","xiTT":1,"kp":2,"xiM":3,"xiET":5}}]}`},
+		{"duplicate app", `{"apps":[{"name":"a","r":1,"deadline":1,"model":{"kind":"simple","xiTT":0.1,"xiET":0.5}},{"name":"a","r":1,"deadline":1,"model":{"kind":"simple","xiTT":0.1,"xiET":0.5}}]}`},
+		{"fleet and fleets", `{"apps":[{"name":"a","r":1,"deadline":1,"model":{"kind":"simple","xiTT":0.1,"xiET":0.5}}],"fleets":[{"apps":[]}]}`},
+		{"top-level policy with fleets", `{"policy":"race","fleets":[{"apps":[{"name":"a","r":1,"deadline":1,"model":{"kind":"simple","xiTT":0.1,"xiET":0.5}}]}]}`},
+		{"empty batch fleet", `{"fleets":[{"apps":[]}]}`},
 	}
 	for _, c := range cases {
 		if _, err := run(strings.NewReader(c.in)); err == nil {
@@ -98,14 +171,17 @@ func TestRenderTable(t *testing.T) {
 	if !strings.Contains(s, "slots: 3") || !strings.Contains(s, "C3") {
 		t.Fatalf("render output:\n%s", s)
 	}
+	if strings.Contains(s, "fleet ") {
+		t.Fatalf("single-fleet render must not print fleet headers:\n%s", s)
+	}
 }
 
 func TestParseDefaults(t *testing.T) {
-	p, err := parsePolicy("")
-	if err != nil || p.String() != "first-fit" {
-		t.Fatalf("default policy = %v, %v", p, err)
+	p, race, err := service.ParsePolicy("")
+	if err != nil || race || p.String() != "first-fit" {
+		t.Fatalf("default policy = %v (race=%v), %v", p, race, err)
 	}
-	m, err := parseMethod("")
+	m, err := service.ParseMethod("")
 	if err != nil || m.String() != "closed-form" {
 		t.Fatalf("default method = %v, %v", m, err)
 	}

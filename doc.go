@@ -23,5 +23,24 @@
 // treated as immutable. sched.AllocateRace (and its core.AllocateSlotsRace
 // bridge) additionally races the first-fit, sequential and best-fit
 // allocation heuristics concurrently and keeps the feasible result with the
-// fewest TT slots.
+// fewest TT slots, and sched.AllocateBatch allocates many independent
+// fleets concurrently across one bounded worker pool.
+//
+// The memo cache is a size-aware LRU: core.SetDeriveCacheCapacity bounds it
+// by entry count and (optionally) approximate retained bytes, and
+// core.DeriveCacheStats reports hit/miss/eviction counters plus current
+// occupancy.
+//
+// # Service mode (cmd/cpsdynd)
+//
+// cmd/cpsdynd serves the pipeline as a long-running HTTP/JSON service so
+// the derivation cache stays warm across requests instead of being rebuilt
+// by every CLI invocation. internal/service holds the request codec —
+// shared with cmd/slotalloc, whose input schema POST /v1/allocate accepts
+// either as a single fleet or as a {"fleets": [...]} batch — plus the
+// handler with bounded in-flight concurrency (semaphore), per-request
+// compute budgets and /healthz + /statsz (cache and server counters)
+// endpoints. POST /v1/derive performs batch fleet derivation from raw
+// plant matrices and timing, returning Table-I-style rows and fitted §III
+// models that paste directly into an allocation request.
 package cpsdyn

@@ -35,8 +35,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hits, misses := core.DeriveCacheStats()
-	fmt.Printf("derivation cache: %d hits, %d misses\n", hits, misses)
+	cst := core.DeriveCacheStats()
+	fmt.Printf("derivation cache: %d hits, %d misses, %d evictions\n", cst.Hits, cst.Misses, cst.Evictions)
 
 	// Race the allocation heuristics and keep the tightest packing.
 	alloc, err := core.AllocateSlotsRace(fleet, core.NonMonotonic, nil, sched.ClosedForm)

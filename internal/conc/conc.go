@@ -1,0 +1,40 @@
+// Package conc holds the tiny concurrency idioms shared across the module,
+// so the worker-pool plumbing lives (and gets fixed) in exactly one place.
+package conc
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) across a bounded worker pool.
+// workers ≤ 0 selects runtime.GOMAXPROCS(0); the pool never exceeds n.
+// ForEach returns once every call has finished. fn must do its own
+// per-index error collection (write to index i of a shared slice).
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"container/list"
 	"fmt"
 	"math"
 	"strings"
@@ -14,39 +15,87 @@ import (
 // Derive recomputes two expensive intermediates for every application: the
 // delay-split discretisation (matrix exponentials) and the exhaustively
 // simulated dwell/wait curve. Fleet workloads reuse a handful of plants with
-// identical timing, so both are memoised behind a small bounded cache keyed
-// by the exact bit pattern of the plant matrices and timing parameters.
-// Cached values (*lti.Discrete, *switching.Curve) are shared between Derived
+// identical timing, so both are memoised behind a bounded cache keyed by the
+// exact bit pattern of the plant matrices and timing parameters. Cached
+// values (*lti.Discrete, *switching.Curve) are shared between Derived
 // results and must be treated as immutable, which every package in this
 // module already does.
+//
+// The cache is LRU (a hit refreshes the entry) and size-aware: besides the
+// entry-count capacity an optional byte budget bounds the approximate
+// retained memory, so a service keeping the cache warm across requests can
+// cap its footprint no matter how many distinct plants it sees.
 
 // memoEntry is one in-flight or completed computation. Waiters block on
 // ready; the goroutine that created the entry fills val/err and closes it.
 type memoEntry struct {
+	key   string
 	ready chan struct{}
 	val   any
 	err   error
+	size  int64 // approximate bytes; 0 while the computation is in flight
+	elem  *list.Element
 }
 
-// memoCache is a thread-safe FIFO-bounded memoisation cache with
+// memoCache is a thread-safe size-aware LRU memoisation cache with
 // single-flight semantics: concurrent requests for the same key share one
 // computation. Failed computations are not retained.
 type memoCache struct {
-	mu     sync.Mutex
-	cap    int
-	m      map[string]*memoEntry
-	order  []string // insertion order for FIFO eviction
-	hits   uint64
-	misses uint64
+	mu         sync.Mutex
+	capEntries int   // always ≥ 1
+	capBytes   int64 // ≤ 0 means unbounded
+	m          map[string]*memoEntry
+	lru        *list.List // front = most recently used, back = eviction victim
+	bytes      int64
+	hits       uint64
+	misses     uint64
+	evictions  uint64
+	sizeOf     func(any) int64
 }
 
-func newMemoCache(capacity int) *memoCache {
-	return &memoCache{cap: capacity, m: make(map[string]*memoEntry)}
+// newMemoCache builds a cache holding at most capacity entries and (when
+// maxBytes > 0) roughly maxBytes of cached values. A capacity below 1 is
+// clamped to 1: with capacity ≤ 0 the insert path would immediately evict
+// its own just-inserted in-flight entry, silently disabling the
+// single-flight deduplication every waiter relies on.
+func newMemoCache(capacity int, maxBytes int64) *memoCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &memoCache{
+		capEntries: capacity,
+		capBytes:   maxBytes,
+		m:          make(map[string]*memoEntry),
+		lru:        list.New(),
+		sizeOf:     approxSize,
+	}
+}
+
+// evictLocked drops least-recently-used entries until both bounds hold.
+// The most recently used entry is never evicted, so the entry a caller just
+// inserted (and any sole remaining entry) always survives; this also
+// guarantees termination when a single value exceeds the byte budget.
+func (c *memoCache) evictLocked() {
+	for c.lru.Len() > 1 &&
+		(c.lru.Len() > c.capEntries || (c.capBytes > 0 && c.bytes > c.capBytes)) {
+		victim := c.lru.Back().Value.(*memoEntry)
+		// Evicting an in-flight entry is safe: waiters hold the entry
+		// pointer and only the map forgets it.
+		c.removeLocked(victim)
+		c.evictions++
+	}
+}
+
+func (c *memoCache) removeLocked(e *memoEntry) {
+	delete(c.m, e.key)
+	c.lru.Remove(e.elem)
+	c.bytes -= e.size
 }
 
 func (c *memoCache) get(key string, compute func() (any, error)) (any, error) {
 	c.mu.Lock()
 	if e, ok := c.m[key]; ok {
+		c.lru.MoveToFront(e.elem)
 		c.mu.Unlock()
 		<-e.ready
 		// Count the hit only once the entry actually served a value, so
@@ -59,63 +108,119 @@ func (c *memoCache) get(key string, compute func() (any, error)) (any, error) {
 		return e.val, e.err
 	}
 	c.misses++
-	e := &memoEntry{ready: make(chan struct{})}
+	e := &memoEntry{key: key, ready: make(chan struct{})}
+	e.elem = c.lru.PushFront(e)
 	c.m[key] = e
-	c.order = append(c.order, key)
-	for len(c.order) > c.cap {
-		oldest := c.order[0]
-		c.order = c.order[1:]
-		// Evicting an in-flight entry is safe: waiters hold the entry
-		// pointer and only the map forgets it.
-		delete(c.m, oldest)
-	}
+	c.evictLocked()
 	c.mu.Unlock()
 
 	e.val, e.err = compute()
 	close(e.ready)
-	if e.err != nil {
-		c.mu.Lock()
-		if cur, ok := c.m[key]; ok && cur == e {
-			delete(c.m, key)
-			for i, k := range c.order {
-				if k == key {
-					c.order = append(c.order[:i], c.order[i+1:]...)
-					break
-				}
-			}
+
+	c.mu.Lock()
+	cur, present := c.m[key]
+	switch {
+	case e.err != nil:
+		if present && cur == e {
+			c.removeLocked(e)
 		}
-		c.mu.Unlock()
+	case present && cur == e:
+		// Account the now-known size and re-check the byte budget.
+		e.size = c.sizeOf(e.val)
+		c.bytes += e.size
+		c.evictLocked()
 	}
+	c.mu.Unlock()
 	return e.val, e.err
 }
 
-func (c *memoCache) stats() (hits, misses uint64) {
+// setCapacity reconfigures the bounds and evicts down to them.
+func (c *memoCache) setCapacity(entries int, maxBytes int64) {
+	if entries < 1 {
+		entries = 1
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	c.capEntries = entries
+	c.capBytes = maxBytes
+	c.evictLocked()
+}
+
+func (c *memoCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.lru.Len(),
+		Bytes:     c.bytes,
+	}
 }
 
 func (c *memoCache) reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.m = make(map[string]*memoEntry)
-	c.order = nil
-	c.hits, c.misses = 0, 0
+	c.lru.Init()
+	c.bytes = 0
+	c.hits, c.misses, c.evictions = 0, 0, 0
+}
+
+// approxSize estimates the retained bytes of a cached artefact. It only has
+// to be proportionate, not exact: the byte budget is a sizing knob, not an
+// allocator.
+func approxSize(v any) int64 {
+	const overhead = 64
+	switch x := v.(type) {
+	case *lti.Discrete:
+		return overhead + 8*int64(matElems(x.Phi)+matElems(x.Gamma0)+matElems(x.Gamma1)+matElems(x.C))
+	case *switching.Curve:
+		return overhead + 16*int64(len(x.Samples))
+	default:
+		return overhead
+	}
+}
+
+func matElems(m *mat.Matrix) int {
+	if m == nil {
+		return 0
+	}
+	return m.Rows() * m.Cols()
+}
+
+// CacheStats is a snapshot of the shared derivation cache's counters.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
 }
 
 // deriveCache holds discretisations and dwell curves across Derive calls.
 // 128 entries comfortably covers a fleet reusing a few dozen plant/timing
 // combinations (each application contributes two discretisations and one
-// curve) while bounding memory for adversarial workloads.
-var deriveCache = newMemoCache(128)
+// curve) while bounding memory for adversarial workloads. Long-running
+// services can retune it with SetDeriveCacheCapacity.
+var deriveCache = newMemoCache(128, 0)
 
-// DeriveCacheStats reports the hit/miss counters of the shared derivation
-// cache — useful for verifying that a fleet workload actually reuses its
-// plants.
-func DeriveCacheStats() (hits, misses uint64) { return deriveCache.stats() }
+// DeriveCacheStats reports the hit/miss/eviction counters and current
+// occupancy of the shared derivation cache — useful for verifying that a
+// fleet workload actually reuses its plants, and exported by cpsdynd's
+// /statsz endpoint.
+func DeriveCacheStats() CacheStats { return deriveCache.stats() }
 
 // ResetDeriveCache empties the shared derivation cache and its counters.
 func ResetDeriveCache() { deriveCache.reset() }
+
+// SetDeriveCacheCapacity reconfigures the shared derivation cache: entries
+// bounds the entry count (clamped to ≥ 1) and maxBytes, when positive,
+// bounds the approximate retained bytes. Existing entries beyond the new
+// bounds are evicted least-recently-used first; counters are preserved.
+func SetDeriveCacheCapacity(entries int, maxBytes int64) {
+	deriveCache.setCapacity(entries, maxBytes)
+}
 
 // keyFloat appends the exact bit pattern of v, so keys distinguish values
 // that differ below formatting precision (and collapse ±0 distinctions no

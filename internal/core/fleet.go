@@ -2,9 +2,8 @@ package core
 
 import (
 	"errors"
-	"runtime"
-	"sync"
 
+	"cpsdyn/internal/conc"
 	"cpsdyn/internal/sched"
 )
 
@@ -13,17 +12,6 @@ type FleetOptions struct {
 	// Workers bounds the number of applications derived concurrently.
 	// Zero or negative selects runtime.GOMAXPROCS(0).
 	Workers int
-}
-
-func (o FleetOptions) workers(n int) int {
-	w := o.Workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	if w > n {
-		w = n
-	}
-	return w
 }
 
 // DeriveFleet derives every application of a fleet across a bounded worker
@@ -41,22 +29,9 @@ func DeriveFleet(apps []*Application, opts FleetOptions) ([]*Derived, error) {
 		return out, nil
 	}
 	errs := make([]error, len(apps))
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < opts.workers(len(apps)); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i], errs[i] = apps[i].Derive()
-			}
-		}()
-	}
-	for i := range apps {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	conc.ForEach(len(apps), opts.Workers, func(i int) {
+		out[i], errs[i] = apps[i].Derive()
+	})
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}

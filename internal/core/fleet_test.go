@@ -95,13 +95,16 @@ func TestDeriveCacheMemoizesIdenticalPlants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, misses := DeriveCacheStats()
+	st := DeriveCacheStats()
 	// 2 discretisations + 1 curve computed; the twin app hits all three.
-	if misses != 3 {
-		t.Fatalf("misses = %d, want 3 (2 discretisations + 1 curve)", misses)
+	if st.Misses != 3 {
+		t.Fatalf("misses = %d, want 3 (2 discretisations + 1 curve)", st.Misses)
 	}
-	if hits < 3 {
-		t.Fatalf("hits = %d, want ≥ 3 for the identical twin app", hits)
+	if st.Hits < 3 {
+		t.Fatalf("hits = %d, want ≥ 3 for the identical twin app", st.Hits)
+	}
+	if st.Entries != 3 || st.Bytes <= 0 {
+		t.Fatalf("occupancy = %d entries / %d bytes, want 3 entries and positive bytes", st.Entries, st.Bytes)
 	}
 	// Cache hits share the immutable intermediates outright.
 	if fleet[0].Curve != fleet[1].Curve {
@@ -126,44 +129,6 @@ func TestDeriveColdVsWarmCache(t *testing.T) {
 	}
 	if !reflect.DeepEqual(cold.Curve, warm.Curve) || !reflect.DeepEqual(cold.KTT, warm.KTT) {
 		t.Fatal("warm-cache Derive differs from cold")
-	}
-}
-
-func TestMemoCacheEvictsFIFO(t *testing.T) {
-	c := newMemoCache(2)
-	calls := 0
-	get := func(key string) {
-		t.Helper()
-		if _, err := c.get(key, func() (any, error) { calls++; return key, nil }); err != nil {
-			t.Fatal(err)
-		}
-	}
-	get("a")
-	get("b")
-	get("a") // hit
-	get("c") // evicts "a" (FIFO)
-	get("a") // recomputed
-	if calls != 4 {
-		t.Fatalf("calls = %d, want 4 (a, b, c, a-again)", calls)
-	}
-	hits, misses := c.stats()
-	if hits != 1 || misses != 4 {
-		t.Fatalf("stats = %d hits / %d misses, want 1/4", hits, misses)
-	}
-}
-
-func TestMemoCacheDoesNotCacheErrors(t *testing.T) {
-	c := newMemoCache(4)
-	calls := 0
-	fail := func() (any, error) { calls++; return nil, errors.New("boom") }
-	if _, err := c.get("k", fail); err == nil {
-		t.Fatal("want error")
-	}
-	if _, err := c.get("k", fail); err == nil {
-		t.Fatal("want error on retry")
-	}
-	if calls != 2 {
-		t.Fatalf("failed computation was cached (calls = %d)", calls)
 	}
 }
 

@@ -1,0 +1,40 @@
+package sched
+
+import (
+	"cpsdyn/internal/conc"
+)
+
+// BatchSpec is one fleet's allocation request inside a batch. Race selects
+// the concurrent policy race (AllocateRace over DefaultRacePolicies) instead
+// of the single Policy.
+type BatchSpec struct {
+	Apps   []*App
+	Policy Policy
+	Race   bool
+	Method Method
+}
+
+// BatchResult pairs one fleet's allocation with its error; exactly one of
+// the two fields is set.
+type BatchResult struct {
+	Alloc *Allocation
+	Err   error
+}
+
+// AllocateBatch allocates many independent fleets concurrently across a
+// bounded worker pool (workers ≤ 0 selects runtime.GOMAXPROCS). Results keep
+// the input order, and one fleet's failure never affects the others — the
+// per-fleet error travels in its BatchResult. This is the engine behind both
+// slotalloc's multi-fleet input and cpsdynd's /v1/allocate.
+func AllocateBatch(specs []BatchSpec, workers int) []BatchResult {
+	out := make([]BatchResult, len(specs))
+	conc.ForEach(len(specs), workers, func(i int) {
+		s := specs[i]
+		if s.Race {
+			out[i].Alloc, out[i].Err = AllocateRace(s.Apps, nil, s.Method)
+		} else {
+			out[i].Alloc, out[i].Err = Allocate(s.Apps, s.Policy, s.Method)
+		}
+	})
+	return out
+}

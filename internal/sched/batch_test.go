@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"cpsdyn/internal/pwl"
+)
+
+func TestAllocateBatchMatchesSequential(t *testing.T) {
+	apps := paperApps(t)
+	specs := []BatchSpec{
+		{Apps: apps, Policy: FirstFit, Method: ClosedForm},
+		{Apps: apps, Race: true, Method: ClosedForm},
+		{Apps: paperAppsConservative(t), Policy: FirstFit, Method: ClosedForm},
+	}
+	for _, workers := range []int{0, 1, 2, 8} {
+		out := AllocateBatch(specs, workers)
+		if len(out) != len(specs) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(out), len(specs))
+		}
+		for i, r := range out {
+			if r.Err != nil {
+				t.Fatalf("workers=%d: fleet %d: %v", workers, i, r.Err)
+			}
+		}
+		if n := out[0].Alloc.NumSlots(); n != 3 {
+			t.Fatalf("workers=%d: first-fit slots = %d, want 3", workers, n)
+		}
+		if n := out[1].Alloc.NumSlots(); n != 3 {
+			t.Fatalf("workers=%d: race slots = %d, want 3", workers, n)
+		}
+		if n := out[2].Alloc.NumSlots(); n != 5 {
+			t.Fatalf("workers=%d: conservative slots = %d, want 5", workers, n)
+		}
+	}
+}
+
+// One infeasible fleet must not sink the batch: its error stays in its own
+// slot and the other fleets still allocate.
+func TestAllocateBatchIsolatesFailures(t *testing.T) {
+	m, _ := pwl.PaperNonMonotonic(3.0, 3.5, 4.0, 8.0) // ξTT = 3 > deadline below
+	bad := []*App{{Name: "doomed", R: 10, Deadline: 2, Model: m}}
+	out := AllocateBatch([]BatchSpec{
+		{Apps: paperApps(t), Policy: FirstFit, Method: ClosedForm},
+		{Apps: bad, Policy: FirstFit, Method: ClosedForm},
+	}, 2)
+	if out[0].Err != nil || out[0].Alloc == nil {
+		t.Fatalf("healthy fleet failed: %v", out[0].Err)
+	}
+	if out[1].Err == nil || out[1].Alloc != nil {
+		t.Fatal("doomed fleet must report its error")
+	}
+	if !strings.Contains(out[1].Err.Error(), "doomed") {
+		t.Fatalf("error does not name the app: %v", out[1].Err)
+	}
+}
+
+func TestAllocateBatchEmpty(t *testing.T) {
+	if out := AllocateBatch(nil, 4); len(out) != 0 {
+		t.Fatalf("empty batch returned %d results", len(out))
+	}
+}

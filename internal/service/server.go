@@ -1,0 +1,295 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"cpsdyn/internal/core"
+)
+
+// Config tunes the HTTP server. The zero value selects sensible defaults.
+type Config struct {
+	// MaxInFlight bounds the number of requests computing concurrently;
+	// further requests queue on the semaphore until their context expires.
+	// ≤ 0 selects 2 × GOMAXPROCS.
+	MaxInFlight int
+	// Timeout is the per-request compute budget. ≤ 0 selects 60 s.
+	Timeout time.Duration
+	// Workers bounds each request's internal derivation/allocation worker
+	// pool (core.FleetOptions.Workers / sched.AllocateBatch). ≤ 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// MaxBodyBytes bounds request bodies. ≤ 0 selects 8 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// ServerStats are the service-level counters reported by GET /statsz next
+// to the derivation-cache counters.
+type ServerStats struct {
+	Requests    uint64 `json:"requests"`    // compute requests completed
+	Rejected    uint64 `json:"rejected"`    // gave up waiting for a slot
+	TimedOut    uint64 `json:"timedOut"`    // exceeded the compute budget
+	InFlight    int64  `json:"inFlight"`    // currently computing
+	MaxInFlight int    `json:"maxInFlight"` // the semaphore bound
+}
+
+// Server is the cpsdynd HTTP handler: batch derivation and allocation on
+// top of the process-wide warm derivation cache, with bounded in-flight
+// concurrency and per-request compute timeouts. Create it with New; it is
+// safe for concurrent use. Graceful shutdown is the owning http.Server's
+// job (http.Server.Shutdown) — in-flight computations finish on their own
+// goroutines and release their semaphore slot even if the client is gone.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+	sem chan struct{}
+
+	requests atomic.Uint64
+	rejected atomic.Uint64
+	timedOut atomic.Uint64
+	inFlight atomic.Int64
+}
+
+// New builds the service handler.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg: cfg.withDefaults(),
+		mux: http.NewServeMux(),
+	}
+	s.sem = make(chan struct{}, s.cfg.MaxInFlight)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("POST /v1/derive", s.compute(deriveEndpoint))
+	s.mux.HandleFunc("POST /v1/allocate", s.compute(allocateEndpoint))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Requests:    s.requests.Load(),
+		Rejected:    s.rejected.Load(),
+		TimedOut:    s.timedOut.Load(),
+		InFlight:    s.inFlight.Load(),
+		MaxInFlight: s.cfg.MaxInFlight,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // nothing left to do for a dead client
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// StatszResponse is the GET /statsz body.
+type StatszResponse struct {
+	Cache  core.CacheStats `json:"cache"`
+	Server ServerStats     `json:"server"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, StatszResponse{
+		Cache:  core.DeriveCacheStats(),
+		Server: s.Stats(),
+	})
+}
+
+// endpoint decodes its body and computes a response; a returned error is a
+// client error (400). Implementations must be context-oblivious: compute
+// wraps them with the timeout/semaphore machinery.
+type endpoint func(s *Server, body []byte) (any, error)
+
+// internalError marks a server-side failure (a recovered panic) so the
+// handler answers 500 instead of blaming the client with a 400.
+type internalError struct{ err error }
+
+func (e *internalError) Error() string { return e.err.Error() }
+func (e *internalError) Unwrap() error { return e.err }
+
+// runEndpoint invokes the endpoint with a panic guard: a long-running
+// daemon must fail one request, not the whole process, when a computation
+// panics (internal/mat panics on shape errors, and future endpoints may
+// have validation gaps).
+func runEndpoint(fn endpoint, s *Server, body []byte) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			v, err = nil, &internalError{fmt.Errorf("internal error: %v", r)}
+		}
+	}()
+	return fn(s, body)
+}
+
+// compute wraps an endpoint with the service's resource discipline:
+// the request first acquires an in-flight slot (or is rejected with 503
+// when its context expires while queueing), then runs on its own goroutine
+// under the per-request compute budget (504 on overrun). A timed-out
+// computation is not abandoned mid-flight — it finishes in the background,
+// still counted against MaxInFlight, so its artefacts warm the cache for
+// the retry.
+func (s *Server) compute(fn endpoint) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, status, err := readBody(r, s.cfg.MaxBodyBytes)
+		if err != nil {
+			writeError(w, status, err)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		defer cancel()
+		// Prefer a free slot over an expired context: with both select
+		// cases ready Go picks randomly, which would turn budget overruns
+		// into spurious 503s when capacity was available all along.
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			select {
+			case s.sem <- struct{}{}:
+			case <-ctx.Done():
+				// A vanished client is not back-pressure; only count
+				// deadline expiries as rejections.
+				if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+					s.rejected.Add(1)
+				}
+				writeError(w, http.StatusServiceUnavailable,
+					fmt.Errorf("server busy: %d requests in flight", s.inFlight.Load()))
+				return
+			}
+		}
+		type result struct {
+			v   any
+			err error
+		}
+		done := make(chan result, 1)
+		s.inFlight.Add(1)
+		go func() {
+			v, err := runEndpoint(fn, s, body)
+			// Settle the books before delivering the result, so a client
+			// that reads its response and immediately polls /statsz sees
+			// its own request counted and its slot free.
+			s.inFlight.Add(-1)
+			s.requests.Add(1)
+			<-s.sem
+			done <- result{v, err}
+		}()
+		select {
+		case res := <-done:
+			if res.err != nil {
+				status := http.StatusBadRequest
+				var ie *internalError
+				if errors.As(res.err, &ie) {
+					status = http.StatusInternalServerError
+				}
+				writeError(w, status, res.err)
+				return
+			}
+			writeJSON(w, http.StatusOK, res.v)
+		case <-ctx.Done():
+			if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				// Client disconnected; nobody is listening for a reply and
+				// the compute budget was not the problem. The computation
+				// still completes in the background and warms the cache.
+				return
+			}
+			s.timedOut.Add(1)
+			writeError(w, http.StatusGatewayTimeout,
+				fmt.Errorf("request exceeded the %s compute budget", s.cfg.Timeout))
+		}
+	}
+}
+
+func readBody(r *http.Request, limit int64) ([]byte, int, error) {
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(http.MaxBytesReader(nil, r.Body, limit)); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte limit", limit)
+		}
+		return nil, http.StatusBadRequest, fmt.Errorf("reading body: %w", err)
+	}
+	return buf.Bytes(), http.StatusOK, nil
+}
+
+func decodeStrict(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("parsing request: %w", err)
+	}
+	return nil
+}
+
+func deriveEndpoint(s *Server, body []byte) (any, error) {
+	var req DeriveRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	// The operator's -workers flag is a ceiling, not a default: a client
+	// may request fewer workers than configured but never more.
+	if req.Workers <= 0 || (s.cfg.Workers > 0 && req.Workers > s.cfg.Workers) {
+		req.Workers = s.cfg.Workers
+	}
+	return Derive(&req)
+}
+
+// AllocateResponse is the POST /v1/allocate body for batch requests; a
+// single-fleet request answers with the bare FleetResult for slotalloc
+// compatibility.
+type AllocateResponse struct {
+	Fleets []*FleetResult `json:"fleets"`
+}
+
+func allocateEndpoint(s *Server, body []byte) (any, error) {
+	var req AllocateRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	fleets, single, err := req.FleetRequests()
+	if err != nil {
+		return nil, err
+	}
+	results, err := AllocateFleets(fleets, s.cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if single {
+		return results[0], nil
+	}
+	return &AllocateResponse{Fleets: results}, nil
+}

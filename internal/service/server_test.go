@@ -1,0 +1,471 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cpsdyn/internal/core"
+	"cpsdyn/internal/plants"
+)
+
+// newTestServer resets the shared derivation cache (restoring the default
+// capacity afterwards) and serves a fresh handler over httptest.
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	core.ResetDeriveCache()
+	core.SetDeriveCacheCapacity(128, 0)
+	ts := httptest.NewServer(New(cfg))
+	t.Cleanup(func() {
+		ts.Close()
+		core.ResetDeriveCache()
+		core.SetDeriveCacheCapacity(128, 0)
+	})
+	return ts
+}
+
+// servoDeriveRequest builds a /v1/derive body of n servo apps with
+// identical dynamics (distinct names), the core-test fleet in wire form.
+func servoDeriveRequest(n int) *DeriveRequest {
+	servo := plants.Servo()
+	a := make([][]float64, servo.A.Rows())
+	b := make([][]float64, servo.B.Rows())
+	for i := range a {
+		a[i] = make([]float64, servo.A.Cols())
+		for j := range a[i] {
+			a[i][j] = servo.A.At(i, j)
+		}
+	}
+	for i := range b {
+		b[i] = []float64{servo.B.At(i, 0)}
+	}
+	req := &DeriveRequest{}
+	for i := 0; i < n; i++ {
+		req.Apps = append(req.Apps, DeriveAppSpec{
+			Name:     fmt.Sprintf("S%d", i+1),
+			Plant:    PlantSpec{Name: "servo", A: a, B: b},
+			H:        0.020,
+			DelayTT:  0.002,
+			DelayET:  0.020,
+			Eth:      0.1,
+			X0:       []float64{0, 2.0},
+			R:        8,
+			Deadline: 3,
+			PolesTT:  []float64{0.80, 0.70, 0.05},
+			PolesET:  []float64{0.93, 0.88, 0.10},
+		})
+	}
+	return req
+}
+
+func postJSON(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	var body map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &body); code != http.StatusOK {
+		t.Fatalf("healthz status = %d", code)
+	}
+	if body["status"] != "ok" {
+		t.Fatalf("healthz body = %v", body)
+	}
+}
+
+// The acceptance test of the service: the derivation cache survives across
+// requests. The second of two identical derive requests reports non-zero
+// cache hits, and /statsz exposes the same counters.
+func TestDeriveKeepsCacheWarmAcrossRequests(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	req := servoDeriveRequest(2)
+
+	code, out := postJSON(t, ts.URL+"/v1/derive", req)
+	if code != http.StatusOK {
+		t.Fatalf("first derive status = %d: %s", code, out)
+	}
+	var first DeriveResponse
+	if err := json.Unmarshal(out, &first); err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Apps) != 2 {
+		t.Fatalf("first derive returned %d apps, want 2", len(first.Apps))
+	}
+	// The twin app reuses the first app's discretisations and curve even
+	// within one request.
+	if first.Cache.Misses != 3 || first.Cache.Hits < 3 {
+		t.Fatalf("first request cache = %+v, want 3 misses and ≥ 3 hits", first.Cache)
+	}
+	if first.Apps[0].XiTT <= 0 || first.Apps[0].XiET <= first.Apps[0].XiTT {
+		t.Fatalf("implausible timing row: %+v", first.Apps[0])
+	}
+	if first.Apps[0].Model.Kind != "non-monotonic" {
+		t.Fatalf("model kind = %q", first.Apps[0].Model.Kind)
+	}
+
+	code, out = postJSON(t, ts.URL+"/v1/derive", req)
+	if code != http.StatusOK {
+		t.Fatalf("second derive status = %d: %s", code, out)
+	}
+	var second DeriveResponse
+	if err := json.Unmarshal(out, &second); err != nil {
+		t.Fatal(err)
+	}
+	// Same fleet again: zero new misses, every intermediate served warm.
+	if second.Cache.Misses != first.Cache.Misses {
+		t.Fatalf("second request recomputed: %+v (first %+v)", second.Cache, first.Cache)
+	}
+	if second.Cache.Hits < first.Cache.Hits+6 {
+		t.Fatalf("second request hits = %d, want ≥ %d (all 2×3 artefacts warm)",
+			second.Cache.Hits, first.Cache.Hits+6)
+	}
+	if !cmpRows(first.Apps, second.Apps) {
+		t.Fatal("warm-cache derive returned different rows")
+	}
+
+	var stats StatszResponse
+	if code := getJSON(t, ts.URL+"/statsz", &stats); code != http.StatusOK {
+		t.Fatalf("statsz status = %d", code)
+	}
+	if stats.Cache.Hits != second.Cache.Hits || stats.Cache.Misses != second.Cache.Misses {
+		t.Fatalf("statsz cache = %+v, derive reported %+v", stats.Cache, second.Cache)
+	}
+	if stats.Server.Requests != 2 || stats.Server.InFlight != 0 {
+		t.Fatalf("server stats = %+v, want 2 completed requests, none in flight", stats.Server)
+	}
+}
+
+func cmpRows(a, b []DeriveResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// With the cache squeezed below the fleet's working set, the eviction
+// counter must climb and surface through both the derive response and
+// /statsz.
+func TestDeriveReportsEvictions(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	core.SetDeriveCacheCapacity(2, 0) // fleet needs 3 artefacts
+	req := servoDeriveRequest(1)
+	for i := 0; i < 2; i++ {
+		if code, out := postJSON(t, ts.URL+"/v1/derive", req); code != http.StatusOK {
+			t.Fatalf("derive %d status = %d: %s", i, code, out)
+		}
+	}
+	var stats StatszResponse
+	if code := getJSON(t, ts.URL+"/statsz", &stats); code != http.StatusOK {
+		t.Fatalf("statsz status = %d", code)
+	}
+	if stats.Cache.Evictions == 0 {
+		t.Fatalf("stats = %+v, want non-zero evictions with capacity 2", stats.Cache)
+	}
+	if stats.Cache.Entries > 2 {
+		t.Fatalf("entries = %d exceeds capacity 2", stats.Cache.Entries)
+	}
+}
+
+const tableIJSON = `{
+  "policy": "first-fit",
+  "method": "closed-form",
+  "apps": [
+    {"name":"C1","r":200,"deadline":9.5,
+     "model":{"kind":"non-monotonic","xiTT":1.68,"kp":2.27,"xiM":5.30,"xiET":11.62}},
+    {"name":"C2","r":20,"deadline":6.25,
+     "model":{"kind":"non-monotonic","xiTT":2.58,"kp":1.34,"xiM":2.95,"xiET":8.59}},
+    {"name":"C3","r":15,"deadline":2,
+     "model":{"kind":"non-monotonic","xiTT":0.39,"kp":0.69,"xiM":0.64,"xiET":3.97}},
+    {"name":"C4","r":200,"deadline":7.5,
+     "model":{"kind":"non-monotonic","xiTT":2.50,"kp":1.92,"xiM":4.03,"xiET":10.40}},
+    {"name":"C5","r":20,"deadline":8.5,
+     "model":{"kind":"non-monotonic","xiTT":2.75,"kp":1.97,"xiM":4.58,"xiET":10.63}},
+    {"name":"C6","r":6,"deadline":6,
+     "model":{"kind":"non-monotonic","xiTT":0.71,"kp":0.67,"xiM":0.92,"xiET":7.94}}
+  ]
+}`
+
+func TestAllocateSingleFleet(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/allocate", "application/json", strings.NewReader(tableIJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("allocate status = %d", resp.StatusCode)
+	}
+	var out FleetResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Slots != 3 || out.Error != "" {
+		t.Fatalf("allocate result = %+v, want the paper's 3 slots", out)
+	}
+	// Input-order output (the slotalloc ordering fix applies here too).
+	for i, a := range out.Apps {
+		if want := fmt.Sprintf("C%d", i+1); a.Name != want {
+			t.Fatalf("app %d = %q, want %q (input order)", i, a.Name, want)
+		}
+	}
+}
+
+func TestAllocateBatchFleets(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	conservative := strings.ReplaceAll(tableIJSON, `"kind":"non-monotonic"`, `"kind":"conservative"`)
+	raced := strings.ReplaceAll(tableIJSON, `"policy": "first-fit"`, `"policy": "race"`)
+	body := fmt.Sprintf(`{"fleets":[%s,%s,%s]}`,
+		strings.Replace(tableIJSON, "{", `{"name":"nonmono",`, 1),
+		strings.Replace(conservative, "{", `{"name":"cons",`, 1),
+		strings.Replace(raced, "{", `{"name":"raced",`, 1))
+	resp, err := http.Post(ts.URL+"/v1/allocate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch allocate status = %d", resp.StatusCode)
+	}
+	var out AllocateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Fleets) != 3 {
+		t.Fatalf("batch returned %d fleets, want 3", len(out.Fleets))
+	}
+	for i, want := range []struct {
+		name  string
+		slots int
+	}{{"nonmono", 3}, {"cons", 5}, {"raced", 3}} {
+		fr := out.Fleets[i]
+		if fr.Name != want.name || fr.Slots != want.slots || fr.Error != "" {
+			t.Fatalf("fleet %d = %+v, want %s with %d slots", i, fr, want.name, want.slots)
+		}
+	}
+}
+
+func TestEndpointErrors(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"derive bad json", "/v1/derive", `{`, http.StatusBadRequest},
+		{"derive no apps", "/v1/derive", `{"apps":[]}`, http.StatusBadRequest},
+		{"derive unknown field", "/v1/derive", `{"wat":1}`, http.StatusBadRequest},
+		{"derive ragged matrix", "/v1/derive",
+			`{"apps":[{"name":"a","plant":{"a":[[1,2],[3]],"b":[[1],[1]]},"h":0.02,"delayTT":0.002,"delayET":0.02,"eth":0.1,"x0":[0,2],"r":8,"deadline":3}]}`,
+			http.StatusBadRequest},
+		{"derive invalid app", "/v1/derive",
+			`{"apps":[{"name":"a","plant":{"a":[[0,1],[1,0]],"b":[[0],[1]]},"h":0,"delayTT":0.002,"delayET":0.02,"eth":0.1,"x0":[0,2],"r":8,"deadline":3}]}`,
+			http.StatusBadRequest},
+		{"allocate bad json", "/v1/allocate", `{`, http.StatusBadRequest},
+		{"allocate bad policy", "/v1/allocate", `{"policy":"magic","apps":[{"name":"a","r":1,"deadline":1,"model":{"kind":"simple","xiTT":0.1,"xiET":0.5}}]}`, http.StatusBadRequest},
+		{"allocate mixed forms", "/v1/allocate", `{"apps":[{"name":"a","r":1,"deadline":1,"model":{"kind":"simple","xiTT":0.1,"xiET":0.5}}],"fleets":[{"apps":[]}]}`, http.StatusBadRequest},
+		{"allocate top-level policy with fleets", "/v1/allocate", `{"policy":"race","fleets":[{"apps":[{"name":"a","r":1,"deadline":1,"model":{"kind":"simple","xiTT":0.1,"xiET":0.5}}]}]}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+c.path, "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body errorBody
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status = %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+		if err != nil || body.Error == "" {
+			t.Errorf("%s: error body = %+v, %v", c.name, body, err)
+		}
+	}
+	// An infeasible fleet is an analysis outcome, not a client error: 200
+	// with the error in-band.
+	code, out := postJSON(t, ts.URL+"/v1/allocate", AllocateRequest{
+		Fleets: []FleetRequest{
+			{Name: "doomed", Apps: []AppSpec{{Name: "a", R: 10, Deadline: 0.1,
+				Model: ModelSpec{Kind: "non-monotonic", XiTT: 1, Kp: 2, XiM: 3, XiET: 5}}}},
+		},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("infeasible batch status = %d: %s", code, out)
+	}
+	var batch AllocateResponse
+	if err := json.Unmarshal(out, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Fleets) != 1 || batch.Fleets[0].Error == "" {
+		t.Fatalf("infeasible fleet result = %+v, want in-band error", batch.Fleets)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/derive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/derive status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// Concurrent identical requests across both endpoints must be race-clean
+// (run under -race) and all succeed, with the in-flight gauge back at zero.
+func TestConcurrentRequests(t *testing.T) {
+	ts := newTestServer(t, Config{MaxInFlight: 4})
+	req := servoDeriveRequest(2)
+	deriveBody, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/derive", "application/json", bytes.NewReader(deriveBody))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b, _ := io.ReadAll(resp.Body)
+				errs <- fmt.Errorf("derive status %d: %s", resp.StatusCode, b)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/allocate", "application/json", strings.NewReader(tableIJSON))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b, _ := io.ReadAll(resp.Body)
+				errs <- fmt.Errorf("allocate status %d: %s", resp.StatusCode, b)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	var stats StatszResponse
+	if code := getJSON(t, ts.URL+"/statsz", &stats); code != http.StatusOK {
+		t.Fatalf("statsz status = %d", code)
+	}
+	if stats.Server.InFlight != 0 {
+		t.Fatalf("in-flight gauge = %d after drain, want 0", stats.Server.InFlight)
+	}
+	if stats.Server.Requests != 2*clients {
+		t.Fatalf("requests = %d, want %d", stats.Server.Requests, 2*clients)
+	}
+	// Identical dynamics everywhere: exactly one cold derivation.
+	if stats.Cache.Misses != 3 {
+		t.Fatalf("misses = %d, want 3 (single-flight across concurrent requests)", stats.Cache.Misses)
+	}
+}
+
+func TestOversizedBodyIs413(t *testing.T) {
+	ts := newTestServer(t, Config{MaxBodyBytes: 64})
+	code, out := postJSON(t, ts.URL+"/v1/allocate", servoDeriveRequest(1))
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d (%s), want 413", code, out)
+	}
+}
+
+// A panicking computation must fail its own request with a 500, not kill
+// the daemon.
+func TestComputeRecoversPanic(t *testing.T) {
+	s := New(Config{})
+	h := s.compute(func(*Server, []byte) (any, error) { panic("boom") })
+	rr := httptest.NewRecorder()
+	h(rr, httptest.NewRequest(http.MethodPost, "/x", strings.NewReader(`{}`)))
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rr.Code)
+	}
+	var body errorBody
+	if err := json.NewDecoder(rr.Body).Decode(&body); err != nil || !strings.Contains(body.Error, "boom") {
+		t.Fatalf("error body = %+v, %v", body, err)
+	}
+	if st := s.Stats(); st.InFlight != 0 || st.Requests != 1 {
+		t.Fatalf("stats after panic = %+v, want drained", st)
+	}
+}
+
+// A request that exceeds its compute budget answers 504, is counted, and
+// does not leak its semaphore slot.
+func TestRequestTimeout(t *testing.T) {
+	ts := newTestServer(t, Config{Timeout: 1 * time.Nanosecond})
+	code, out := postJSON(t, ts.URL+"/v1/derive", servoDeriveRequest(1))
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%s), want 504", code, out)
+	}
+	// The background computation still finishes and releases its slot.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var stats StatszResponse
+		if c := getJSON(t, ts.URL+"/statsz", &stats); c != http.StatusOK {
+			t.Fatalf("statsz status = %d", c)
+		}
+		if stats.Server.InFlight == 0 {
+			if stats.Server.TimedOut != 1 {
+				t.Fatalf("timedOut = %d, want 1", stats.Server.TimedOut)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight slot never released after timeout")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -182,8 +182,13 @@ func (c *Curve) IsNonMonotonic() bool {
 	return false
 }
 
-// PeakSample returns the sample with the largest dwell.
+// PeakSample returns the sample with the largest dwell. An empty
+// (user-constructed) curve yields the zero point rather than panicking;
+// SampleCurve always produces at least one sample.
 func (c *Curve) PeakSample() pwl.Point {
+	if len(c.Samples) == 0 {
+		return pwl.Point{}
+	}
 	best := c.Samples[0]
 	for _, p := range c.Samples[1:] {
 		if p.Dwell > best.Dwell {

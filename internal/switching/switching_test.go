@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"cpsdyn/internal/mat"
+	"cpsdyn/internal/pwl"
 )
 
 // nonNormalSystem returns a system whose ET loop has a strong transient
@@ -187,5 +188,18 @@ func TestDwellMonotoneWithThreshold(t *testing.T) {
 	if c2.XiET > c1.XiET || c2.XiTT > c1.XiTT {
 		t.Fatalf("looser threshold must not slow settling: (%g,%g) vs (%g,%g)",
 			c2.XiTT, c2.XiET, c1.XiTT, c1.XiET)
+	}
+}
+
+// Regression: PeakSample on an empty user-constructed curve used to panic
+// indexing Samples[0]; it must return the zero point instead.
+func TestPeakSampleEmptyCurve(t *testing.T) {
+	c := &Curve{H: 0.02}
+	if got := c.PeakSample(); got != (pwl.Point{}) {
+		t.Fatalf("PeakSample on empty curve = %+v, want zero point", got)
+	}
+	one := &Curve{Samples: []pwl.Point{{Wait: 0.1, Dwell: 0.5}}, H: 0.02}
+	if got := one.PeakSample(); got != one.Samples[0] {
+		t.Fatalf("PeakSample on 1-sample curve = %+v, want %+v", got, one.Samples[0])
 	}
 }
