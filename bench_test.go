@@ -10,12 +10,15 @@
 package cpsdyn_test
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"cpsdyn/internal/casestudy"
 	"cpsdyn/internal/core"
 	"cpsdyn/internal/flexray"
 	"cpsdyn/internal/sched"
+	"cpsdyn/internal/switching"
 )
 
 // sharedFleet returns the process-wide calibrated measured-mode fleet:
@@ -218,7 +221,7 @@ func BenchmarkDeriveFleet(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.ResetDeriveCache()
-		out, err := core.DeriveFleet(apps, core.FleetOptions{})
+		out, err := core.DeriveFleet(context.Background(), apps, core.FleetOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -238,7 +241,48 @@ func BenchmarkDeriveFleetCached(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.DeriveFleet(apps, core.FleetOptions{}); err != nil {
+		if _, err := core.DeriveFleet(context.Background(), apps, core.FleetOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSampleCurve measures the dwell-curve sampling hot path on the
+// calibrated servo — the dominant cost of every cache-miss derive — at
+// several fan-out widths. workers=1 is the strictly sequential baseline;
+// the sharded runs produce byte-identical curves (pinned by the switching
+// determinism test), so the ratio of the two is pure speedup.
+func BenchmarkSampleCurve(b *testing.B) {
+	app, err := casestudy.ServoApp()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := app.Derive()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := d.Sys
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			samples := 0
+			for i := 0; i < b.N; i++ {
+				c, err := sys.SampleCurveWith(switching.SampleCurveOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				samples = len(c.Samples)
+			}
+			b.ReportMetric(float64(samples), "samples")
+		})
+	}
+}
+
+// BenchmarkCalibrate measures one full measured-mode calibration (the
+// servo's TT and ET binary searches, each speculatively evaluating its
+// bisection probes in parallel) — the dominant cost of measured mode.
+func BenchmarkCalibrate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := casestudy.ServoApp(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -9,22 +9,31 @@
 //	POST /v1/derive    batch fleet derivation (service.DeriveRequest):
 //	                   plants + timing in, Table-I-style rows and fitted
 //	                   §III models out
+//	POST /v1/calibrate measured-mode workflow: plants + response-time
+//	                   targets in, calibrated pole-placement designs plus
+//	                   the same derive rows out
 //	POST /v1/allocate  TT-slot allocation for one fleet (slotalloc's input
 //	                   schema) or a {"fleets": [...]} batch, each fleet
 //	                   allocated concurrently; "policy": "race" races the
 //	                   heuristics per fleet
 //	GET  /healthz      liveness probe
-//	GET  /statsz       derivation-cache hit/miss/eviction counters and
-//	                   server in-flight/timeout counters
+//	GET  /statsz       derivation-cache hit/miss/eviction counters, server
+//	                   in-flight/timeout/cancellation counters and the
+//	                   cumulative simulation-step gauge
+//	GET  /metrics      the same counters in Prometheus text format
 //
 // Concurrency is bounded by -max-inflight (excess requests queue and are
-// rejected 503 once their deadline passes), each request gets a
-// -timeout compute budget (504 on overrun; the computation still finishes
-// in the background and warms the cache), and SIGINT/SIGTERM trigger a
-// graceful drain.
+// rejected 503 once their deadline passes) and each request gets a -timeout
+// compute budget (504 on overrun). A budget overrun or client disconnect
+// cancels the in-flight matrix work — the computation stops consuming CPU
+// promptly — unless -complete-background restores the old detached
+// behaviour (the abandoned computation finishes and warms the cache).
+// Cache-miss dwell-curve sampling fans out across -curve-workers cores.
+// SIGINT/SIGTERM trigger a graceful drain.
 //
 // Usage: cpsdynd [-addr :8700] [-cache-entries 1024] [-cache-bytes N]
-// [-max-inflight N] [-timeout 60s] [-workers N]
+// [-max-inflight N] [-timeout 60s] [-workers N] [-curve-workers N]
+// [-complete-background]
 package main
 
 import (
@@ -51,6 +60,8 @@ func main() {
 		maxInFlight  = flag.Int("max-inflight", 0, "maximum concurrently computing requests (0 = 2×GOMAXPROCS)")
 		timeout      = flag.Duration("timeout", 60*time.Second, "per-request compute budget")
 		workers      = flag.Int("workers", 0, "per-request derivation/allocation workers (0 = GOMAXPROCS)")
+		curveWorkers = flag.Int("curve-workers", 0, "dwell-curve sampling fan-out on cache misses (0 = GOMAXPROCS, 1 = sequential)")
+		background   = flag.Bool("complete-background", false, "let timed-out/disconnected computations finish detached (warming the cache) instead of cancelling them")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	)
 	flag.Parse()
@@ -60,10 +71,12 @@ func main() {
 	}
 
 	core.SetDeriveCacheCapacity(*cacheEntries, *cacheBytes)
+	core.SetCurveSamplingWorkers(*curveWorkers)
 	handler := service.New(service.Config{
-		MaxInFlight: *maxInFlight,
-		Timeout:     *timeout,
-		Workers:     *workers,
+		MaxInFlight:          *maxInFlight,
+		Timeout:              *timeout,
+		Workers:              *workers,
+		CompleteInBackground: *background,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

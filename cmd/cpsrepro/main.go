@@ -16,9 +16,15 @@
 //	cpsrepro race               policy race: best allocation across heuristics
 //	cpsrepro all                everything except the CSV dumps
 //
+// Every command accepts -workers N to bound the dwell-curve sampling
+// fan-out on derivation-cache misses (0, the default, uses every core;
+// 1 forces the sequential sampler).
+//
 // The measured-mode commands (table1, fig5) share one calibrated fleet per
-// process: the six controller calibrations run concurrently and the derived
-// artefacts are reused, so "all" calibrates once instead of three times.
+// process: the six controller calibrations run concurrently (each search
+// additionally evaluates its bisection probes speculatively in parallel)
+// and the derived artefacts are reused, so "all" calibrates once instead
+// of three times.
 package main
 
 import (
@@ -41,7 +47,9 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	csv := fs.Bool("csv", false, "emit CSV instead of an ASCII plot")
+	workers := fs.Int("workers", 0, "dwell-curve sampling fan-out on cache misses (0 = GOMAXPROCS, 1 = sequential)")
 	_ = fs.Parse(os.Args[2:])
+	core.SetCurveSamplingWorkers(*workers)
 
 	var err error
 	switch cmd {

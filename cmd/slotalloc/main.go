@@ -64,9 +64,10 @@ type batchOutput struct {
 
 func main() {
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON")
+	workers := flag.Int("workers", 0, "batch allocation worker pool (0 = GOMAXPROCS)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: slotalloc [-json] fleet.json")
+		fmt.Fprintln(os.Stderr, "usage: slotalloc [-json] [-workers N] fleet.json")
 		os.Exit(2)
 	}
 	var r io.Reader
@@ -80,7 +81,7 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	out, err := run(r)
+	out, err := run(r, *workers)
 	if err != nil {
 		fatal(err)
 	}
@@ -109,9 +110,10 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// run parses one fleet or a batch, allocates concurrently and analyses
-// every fleet, reporting apps in input order.
-func run(r io.Reader) (*batchOutput, error) {
+// run parses one fleet or a batch, allocates concurrently across workers
+// (≤ 0 selects GOMAXPROCS) and analyses every fleet, reporting apps in
+// input order.
+func run(r io.Reader, workers int) (*batchOutput, error) {
 	var req service.AllocateRequest
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
@@ -122,7 +124,7 @@ func run(r io.Reader) (*batchOutput, error) {
 	if err != nil {
 		return nil, err
 	}
-	results, err := service.AllocateFleets(fleets, 0)
+	results, err := service.AllocateFleets(fleets, workers)
 	if err != nil {
 		return nil, err
 	}

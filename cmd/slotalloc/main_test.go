@@ -32,7 +32,7 @@ const tableIJSON = `{
 // runOne runs a single-fleet input and returns its result.
 func runOne(t *testing.T, in string) *service.FleetResult {
 	t.Helper()
-	out, err := run(strings.NewReader(in))
+	out, err := run(strings.NewReader(in), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestRunBatchFleets(t *testing.T) {
 	in := fmt.Sprintf(`{"fleets":[%s,%s]}`,
 		strings.Replace(tableIJSON, "{", `{"name":"nonmono",`, 1),
 		strings.Replace(conservative, "{", `{"name":"cons",`, 1))
-	out, err := run(strings.NewReader(in))
+	out, err := run(strings.NewReader(in), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestRunBatchIsolatesInfeasibleFleet(t *testing.T) {
 	in := fmt.Sprintf(`{"fleets":[%s,
 	  {"name":"doomed","apps":[{"name":"a","r":10,"deadline":0.1,
 	    "model":{"kind":"non-monotonic","xiTT":1,"kp":2,"xiM":3,"xiET":5}}]}]}`, tableIJSON)
-	out, err := run(strings.NewReader(in))
+	out, err := run(strings.NewReader(in), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,14 +152,14 @@ func TestRunErrors(t *testing.T) {
 		{"empty batch fleet", `{"fleets":[{"apps":[]}]}`},
 	}
 	for _, c := range cases {
-		if _, err := run(strings.NewReader(c.in)); err == nil {
+		if _, err := run(strings.NewReader(c.in), 0); err == nil {
 			t.Errorf("%s: want error", c.name)
 		}
 	}
 }
 
 func TestRenderTable(t *testing.T) {
-	out, err := run(strings.NewReader(tableIJSON))
+	out, err := run(strings.NewReader(tableIJSON), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,6 +31,26 @@
 // core.DeriveCacheStats reports hit/miss/eviction counters plus current
 // occupancy.
 //
+// # Sharded sampling and cancellation
+//
+// The dominant cost of a cache-miss derive — measuring the non-monotone
+// dwell curve by exhaustive simulation (§III) — is itself sharded: a cheap
+// sequential prepass walks the switch states A1^kwait·x0 once, then every
+// kwait's independent settling simulation fans out across a bounded worker
+// pool (switching.SampleCurveWith; core.SetCurveSamplingWorkers tunes the
+// width, defaulting to every core). The sampled curve is byte-identical
+// for any worker count. The settling kernel steps in reusable scratch
+// buffers (mat.MulVecTo), so simulation allocates nothing per step, and
+// advances the process-wide switching.SimSteps gauge.
+//
+// The hot paths are cancellable end to end: context.Context threads from
+// core.DeriveFleet / (*core.Application).DeriveContext through the memo
+// cache's single-flight path into the settling simulations (sub-millisecond
+// cancellation points), and through the measured-mode calibration searches
+// (casestudy.Calibrate, whose binary searches evaluate their bisection
+// probes speculatively in parallel). A cancelled computation never poisons
+// a single-flight entry: waiters with live contexts retake it.
+//
 // # Service mode (cmd/cpsdynd)
 //
 // cmd/cpsdynd serves the pipeline as a long-running HTTP/JSON service so
@@ -39,8 +59,13 @@
 // shared with cmd/slotalloc, whose input schema POST /v1/allocate accepts
 // either as a single fleet or as a {"fleets": [...]} batch — plus the
 // handler with bounded in-flight concurrency (semaphore), per-request
-// compute budgets and /healthz + /statsz (cache and server counters)
+// compute budgets and /healthz + /statsz + /metrics (Prometheus text)
 // endpoints. POST /v1/derive performs batch fleet derivation from raw
 // plant matrices and timing, returning Table-I-style rows and fitted §III
-// models that paste directly into an allocation request.
+// models that paste directly into an allocation request; POST /v1/calibrate
+// owns the full measured-mode workflow (plants plus response-time targets
+// in, calibrated pole-placement designs plus derive rows out). A request
+// whose compute budget expires or whose client disconnects is cancelled —
+// it stops consuming CPU promptly — unless the service opts into detached
+// background completion (service.Config.CompleteInBackground).
 package cpsdyn

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fleet, err := core.DeriveFleet(apps, core.FleetOptions{})
+	fleet, err := core.DeriveFleet(context.Background(), apps, core.FleetOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,12 +14,14 @@
 package casestudy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/cmplx"
 	"sync"
 
+	"cpsdyn/internal/conc"
 	"cpsdyn/internal/core"
 	"cpsdyn/internal/flexray"
 	"cpsdyn/internal/plants"
@@ -205,15 +207,23 @@ func fleetSpecs() []fleetSpec {
 }
 
 // Fleet builds the six measured-mode applications with controllers
-// calibrated so that (ξTT, ξET) approach the Table I targets. Each
-// application's calibration search is independent, so the six run
-// concurrently (one goroutine per application; each search is itself
-// sequential), with per-application failures aggregated.
+// calibrated so that (ξTT, ξET) approach the Table I targets. See
+// FleetContext for the cancellable variant this wraps.
 func Fleet() ([]*core.Application, error) {
+	return FleetContext(context.Background())
+}
+
+// FleetContext builds and calibrates the measured-mode fleet under ctx.
+// Each application's calibration search is independent, so the six run
+// across the shared bounded worker pool (each search additionally
+// parallelises its probe evaluations — see Calibrate), with
+// per-application failures aggregated. A ctx expiry aborts the in-flight
+// searches promptly and returns ctx.Err().
+func FleetContext(ctx context.Context) ([]*core.Application, error) {
 	specs := fleetSpecs()
 	apps := make([]*core.Application, len(specs))
 	// Resolve every plant before spawning anything, so an unknown plant
-	// cannot strand calibration goroutines behind an early return.
+	// cannot strand calibration work behind an early return.
 	for i, s := range specs {
 		plant, ok := plants.All()[s.plant]
 		if !ok {
@@ -233,60 +243,68 @@ func Fleet() ([]*core.Application, error) {
 		}
 	}
 	errs := make([]error, len(specs))
-	var wg sync.WaitGroup
-	for i, s := range specs {
-		wg.Add(1)
-		go func(i int, s fleetSpec) {
-			defer wg.Done()
-			if err := calibrate(apps[i], s.row.XiTT, s.row.XiET, s.etOmega); err != nil {
-				errs[i] = fmt.Errorf("casestudy: %s: %w", s.row.Name, err)
-			}
-		}(i, s)
+	ferr := conc.ForEachCtx(ctx, len(specs), 0, func(i int) error {
+		if err := Calibrate(ctx, apps[i], specs[i].row.XiTT, specs[i].row.XiET, specs[i].etOmega); err != nil {
+			errs[i] = fmt.Errorf("casestudy: %s: %w", specs[i].row.Name, err)
+		}
+		return nil // per-app failures are aggregated, not dispatch-stopping
+	})
+	if ferr != nil {
+		return nil, ferr
 	}
-	wg.Wait()
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
 	return apps, nil
 }
 
-// calibrate binary-searches the dominant closed-loop pole radii so the
-// pure-mode settling times approach the targets (within one sampling
-// period or 5%, whichever is looser).
-func calibrate(app *core.Application, targetTT, targetET, etOmega float64) error {
-	setTT := func(rho float64) {
-		app.PolesTT = []complex128{complex(rho, 0), complex(0.85*rho, 0), 0.05}
+// Calibrate binary-searches the dominant closed-loop pole radii of app so
+// the pure-mode settling times approach (targetTT, targetET), within one
+// sampling period or 5%, whichever is looser. etOmega > 0 gives the ET
+// design a lightly-damped complex pole pair at that natural frequency
+// (rad/s) instead of real poles. On success app.PolesTT/PolesET hold the
+// calibrated designs. Probes never mutate app until then, so concurrent
+// probe evaluations are safe; a ctx expiry aborts the search promptly with
+// an error unwrapping to ctx.Err().
+//
+// Exported so the cpsdynd /v1/calibrate endpoint can own the measured-mode
+// workflow end to end.
+func Calibrate(ctx context.Context, app *core.Application, targetTT, targetET, etOmega float64) error {
+	ttPoles := func(rho float64) []complex128 {
+		return []complex128{complex(rho, 0), complex(0.85*rho, 0), 0.05}
 	}
-	setET := func(rho float64) {
+	etPoles := func(rho float64) []complex128 {
 		if etOmega > 0 {
 			p := cmplx.Rect(rho, etOmega*app.H)
-			app.PolesET = []complex128{p, cmplx.Conj(p), 0.1}
-			return
+			return []complex128{p, cmplx.Conj(p), 0.1}
 		}
-		app.PolesET = []complex128{complex(rho, 0), complex(0.92*rho, 0), 0.1}
+		return []complex128{complex(rho, 0), complex(0.92*rho, 0), 0.1}
 	}
-	measure := func() (float64, float64, error) { return app.ProbeSettle() }
-
+	// Probes run on private shallow copies, so the speculative evaluations
+	// of searchRho can overlap without synchronising on app.
 	// TT first (ET fixed at a safe slow default), then ET.
-	setET(0.95)
-	rhoTT, err := searchRho(func(rho float64) (float64, error) {
-		setTT(rho)
-		tt, _, err := measure()
+	rhoTT, err := searchRho(ctx, func(ctx context.Context, rho float64) (float64, error) {
+		probe := *app
+		probe.PolesTT = ttPoles(rho)
+		probe.PolesET = etPoles(0.95)
+		tt, _, err := probe.ProbeSettleContext(ctx)
 		return tt, err
 	}, targetTT, app.H)
 	if err != nil {
 		return fmt.Errorf("TT calibration: %w", err)
 	}
-	setTT(rhoTT)
-	rhoET, err := searchRho(func(rho float64) (float64, error) {
-		setET(rho)
-		_, et, err := measure()
+	rhoET, err := searchRho(ctx, func(ctx context.Context, rho float64) (float64, error) {
+		probe := *app
+		probe.PolesTT = ttPoles(rhoTT)
+		probe.PolesET = etPoles(rho)
+		_, et, err := probe.ProbeSettleContext(ctx)
 		return et, err
 	}, targetET, app.H)
 	if err != nil {
 		return fmt.Errorf("ET calibration: %w", err)
 	}
-	setET(rhoET)
+	app.PolesTT = ttPoles(rhoTT)
+	app.PolesET = etPoles(rhoET)
 	return nil
 }
 
@@ -294,29 +312,60 @@ func calibrate(app *core.Application, targetTT, targetET, etOmega float64) error
 // measured settling time approaches the target. Settling time increases
 // with the radius; non-monotone wiggles from transient humps are absorbed
 // by the tolerance.
-func searchRho(measure func(rho float64) (float64, error), target, h float64) (float64, error) {
+//
+// Each round speculatively evaluates the current midpoint and both
+// candidate next midpoints concurrently, then consumes up to two
+// sequential bisection steps from the three probes. The probe sequence the
+// search consumes is exactly the sequential one — after the mid step the
+// next midpoint is bitwise-equal to one of the two quarter points,
+// including the probe-failure retreat towards slower poles — so the result
+// is identical while the wall-clock roughly halves.
+func searchRho(ctx context.Context, measure func(ctx context.Context, rho float64) (float64, error), target, h float64) (float64, error) {
 	lo, hi := 0.30, 0.9995
 	var best float64 = math.NaN()
 	bestErr := math.Inf(1)
-	for i := 0; i < 40; i++ {
+	const steps = 40
+	for step := 0; step < steps; {
 		mid := (lo + hi) / 2
-		got, err := measure(mid)
-		if err != nil {
-			// Too aggressive a design can fail (e.g. numerically huge
-			// gains); retreat towards slower poles.
-			lo = mid
-			continue
+		cand := [3]float64{mid, (lo + mid) / 2, (mid + hi) / 2}
+		var got [3]float64
+		var errs [3]error
+		if err := conc.ForEachCtx(ctx, len(cand), len(cand), func(i int) error {
+			got[i], errs[i] = measure(ctx, cand[i])
+			return nil
+		}); err != nil {
+			return 0, err
 		}
-		if diff := math.Abs(got - target); diff < bestErr {
-			best, bestErr = mid, diff
-		}
-		if math.Abs(got-target) <= math.Max(h, 0.05*target) {
-			return mid, nil
-		}
-		if got > target {
-			hi = mid
-		} else {
-			lo = mid
+		for j := 0; j < 2 && step < steps; j++ {
+			idx := 0
+			if j == 1 {
+				// The first step moved exactly one bound to cand[0]; the
+				// new midpoint is the matching speculative quarter point.
+				if hi == cand[0] {
+					idx = 1
+				} else {
+					idx = 2
+				}
+			}
+			m := cand[idx]
+			step++
+			if errs[idx] != nil {
+				// Too aggressive a design can fail (e.g. numerically huge
+				// gains); retreat towards slower poles.
+				lo = m
+				continue
+			}
+			if diff := math.Abs(got[idx] - target); diff < bestErr {
+				best, bestErr = m, diff
+			}
+			if math.Abs(got[idx]-target) <= math.Max(h, 0.05*target) {
+				return m, nil
+			}
+			if got[idx] > target {
+				hi = m
+			} else {
+				lo = m
+			}
 		}
 	}
 	if math.IsNaN(best) {
@@ -328,11 +377,17 @@ func searchRho(measure func(rho float64) (float64, error), target, h float64) (f
 // DeriveFleet calibrates and derives all six measured-mode applications
 // through the concurrent fleet engine (default worker count).
 func DeriveFleet() ([]*core.Derived, error) {
-	apps, err := Fleet()
+	return DeriveFleetContext(context.Background())
+}
+
+// DeriveFleetContext is DeriveFleet under a cancellable context: both the
+// calibration searches and the fleet derivation honour ctx.
+func DeriveFleetContext(ctx context.Context) ([]*core.Derived, error) {
+	apps, err := FleetContext(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return core.DeriveFleet(apps, core.FleetOptions{})
+	return core.DeriveFleet(ctx, apps, core.FleetOptions{})
 }
 
 // The calibrated fleet is deterministic and expensive (~25 s of calibration

@@ -1,10 +1,14 @@
 package casestudy
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"cpsdyn/internal/core"
+	"cpsdyn/internal/plants"
 	"cpsdyn/internal/sched"
 )
 
@@ -29,6 +33,47 @@ func skipIfShort(t *testing.T) {
 	t.Helper()
 	if testing.Short() {
 		t.Skip("skipping calibration-heavy test in -short mode")
+	}
+}
+
+// A pre-cancelled context aborts the fleet calibration before any search
+// work runs.
+func TestFleetContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FleetContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// Cancelling mid-search returns promptly: the probe evaluations carry the
+// context down into the settling simulations.
+func TestCalibrateCancelMidSearch(t *testing.T) {
+	app := &core.Application{
+		Name:     "cancel",
+		Plant:    plants.Servo(),
+		H:        0.020,
+		DelayTT:  0.002,
+		DelayET:  0.020,
+		Eth:      0.1,
+		X0:       []float64{0, 2.0},
+		R:        8,
+		Deadline: 3,
+		FrameID:  1,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Calibrate(ctx, app, 0.68, 2.16, 0) }()
+	cancel()
+	select {
+	case err := <-done:
+		// Either the cancellation was observed or (unlikely) the search
+		// finished first; hanging is the bug.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled or nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled calibration did not return promptly")
 	}
 }
 

@@ -1,6 +1,7 @@
 package casestudy
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -34,7 +35,7 @@ func ServoApp() (*core.Application, error) {
 		Deadline: 3,
 		FrameID:  1,
 	}
-	if err := calibrate(app, 0.68, 2.16, 0); err != nil {
+	if err := Calibrate(context.Background(), app, 0.68, 2.16, 0); err != nil {
 		return nil, fmt.Errorf("casestudy: servo calibration: %w", err)
 	}
 	return app, nil

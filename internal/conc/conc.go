@@ -3,6 +3,7 @@
 package conc
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -12,8 +13,36 @@ import (
 // ForEach returns once every call has finished. fn must do its own
 // per-index error collection (write to index i of a shared slice).
 func ForEach(n, workers int, fn func(i int)) {
+	// fn is infallible and there is no context, so the error is always nil.
+	_ = ForEachWorkerCtx(nil, n, workers, func(_, i int) error {
+		fn(i)
+		return nil
+	})
+}
+
+// ForEachCtx is ForEach with cooperative cancellation and error propagation:
+// once ctx is cancelled or some fn returns a non-nil error, no further
+// indices are dispatched (in-flight calls finish). It returns ctx.Err() when
+// the context was cancelled, else the error of the lowest failed index.
+// Indices are dispatched in order, so the lowest failed index among the
+// dispatched ones matches what a sequential loop would have reported.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
+	return ForEachWorkerCtx(ctx, n, workers, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorkerCtx is ForEachCtx for callers that keep per-worker scratch
+// state: fn additionally receives the worker index w in [0, workers), stable
+// for the lifetime of that worker goroutine, so fn can reuse preallocated
+// buffers without synchronisation. A nil ctx means no cancellation.
+func ForEachWorkerCtx(ctx context.Context, n, workers int, fn func(w, i int) error) error {
+	ctxErr := func() error {
+		if ctx == nil {
+			return nil
+		}
+		return ctx.Err()
+	}
 	if n <= 0 {
-		return
+		return ctxErr()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -21,20 +50,46 @@ func ForEach(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	next := make(chan int)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				if err := fn(w, i); err != nil {
+					errs[i] = err
+					stopOnce.Do(func() { close(stop) })
+				}
 			}
-		}()
+		}(w)
 	}
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			break feed
+		case <-stop:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctxErr(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

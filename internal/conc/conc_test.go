@@ -1,0 +1,155 @@
+package conc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		const n = 37
+		var counts [n]atomic.Int32
+		ForEach(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	ForEach(0, 4, func(int) { t.Fatal("fn called for n=0") })
+	if err := ForEachCtx(context.Background(), -1, 4, func(int) error {
+		t.Fatal("fn called for n<0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The reported error must be the lowest failed index's error — exactly what
+// a sequential loop would have surfaced — regardless of worker count.
+func TestForEachCtxReportsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		err := ForEachCtx(context.Background(), 100, workers, func(i int) error {
+			if i == 17 || i == 63 {
+				return fmt.Errorf("fail %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail 17" {
+			t.Fatalf("workers=%d: err = %v, want fail 17", workers, err)
+		}
+	}
+}
+
+// An error stops the dispatch of further indices (in-flight ones finish).
+func TestForEachCtxStopsDispatchOnError(t *testing.T) {
+	var visited atomic.Int32
+	err := ForEachCtx(context.Background(), 10000, 2, func(i int) error {
+		visited.Add(1)
+		if i == 0 {
+			return errors.New("early")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "early" {
+		t.Fatalf("err = %v", err)
+	}
+	if v := visited.Load(); v == 10000 {
+		t.Fatal("error did not stop the dispatch")
+	}
+}
+
+// Cancellation stops dispatch and surfaces ctx.Err(), even when some fn
+// calls also failed.
+func TestForEachCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var visited atomic.Int32
+	err := ForEachCtx(ctx, 100000, 2, func(i int) error {
+		if visited.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if v := visited.Load(); v == 100000 {
+		t.Fatal("cancellation did not stop the dispatch")
+	}
+}
+
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	err := ForEachCtx(ctx, 5, 2, func(int) error { called = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The feeder may or may not dispatch an index before observing the
+	// cancelled context (select picks randomly among ready cases), so only
+	// the returned error is pinned, not `called`.
+	_ = called
+}
+
+// Worker indices are within [0, workers) and stable per goroutine, so
+// callers can maintain per-worker scratch buffers without locks.
+func TestForEachWorkerCtxWorkerIndexes(t *testing.T) {
+	const workers, n = 4, 200
+	scratch := make([]int, workers) // one slot per worker; no mutex needed
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	err := ForEachWorkerCtx(context.Background(), n, workers, func(w, i int) error {
+		if w < 0 || w >= workers {
+			return fmt.Errorf("worker index %d out of range", w)
+		}
+		scratch[w]++ // races iff two goroutines share a worker index
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("visited %d indices, want %d", len(seen), n)
+	}
+	total := 0
+	for _, c := range scratch {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("per-worker counts sum to %d, want %d", total, n)
+	}
+}
+
+// The pool must not exceed the requested width.
+func TestForEachWorkerCtxBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	err := ForEachWorkerCtx(context.Background(), 100, workers, func(_, _ int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}

@@ -2,10 +2,14 @@ package core
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"cpsdyn/internal/lti"
 	"cpsdyn/internal/mat"
@@ -92,46 +96,74 @@ func (c *memoCache) removeLocked(e *memoEntry) {
 	c.bytes -= e.size
 }
 
-func (c *memoCache) get(key string, compute func() (any, error)) (any, error) {
-	c.mu.Lock()
-	if e, ok := c.m[key]; ok {
-		c.lru.MoveToFront(e.elem)
-		c.mu.Unlock()
-		<-e.ready
-		// Count the hit only once the entry actually served a value, so
-		// stats are not inflated by waiters on failed computations.
-		if e.err == nil {
-			c.mu.Lock()
-			c.hits++
+// isCancellation reports whether err is a context expiry.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// get returns the cached value for key, computing it at most once across
+// concurrent callers (single-flight). compute receives the owning caller's
+// context; a cancelled computation is not retained, and a waiter whose own
+// context is still live retries (possibly becoming the new owner) instead of
+// inheriting the cancelled owner's error — cancellation never poisons an
+// entry for the callers that did not cancel. A waiter whose own context
+// expires stops waiting immediately with that context's error.
+func (c *memoCache) get(ctx context.Context, key string, compute func(context.Context) (any, error)) (any, error) {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	for {
+		c.mu.Lock()
+		if e, ok := c.m[key]; ok {
+			c.lru.MoveToFront(e.elem)
 			c.mu.Unlock()
+			select {
+			case <-e.ready:
+			case <-done:
+				return nil, ctx.Err()
+			}
+			// Count the hit only once the entry actually served a value, so
+			// stats are not inflated by waiters on failed computations.
+			if e.err == nil {
+				c.mu.Lock()
+				c.hits++
+				c.mu.Unlock()
+				return e.val, nil
+			}
+			if isCancellation(e.err) && (ctx == nil || ctx.Err() == nil) {
+				// The owner was cancelled, this caller was not: the failed
+				// entry is already removed, so try again from scratch.
+				continue
+			}
+			return e.val, e.err
 		}
+		c.misses++
+		e := &memoEntry{key: key, ready: make(chan struct{})}
+		e.elem = c.lru.PushFront(e)
+		c.m[key] = e
+		c.evictLocked()
+		c.mu.Unlock()
+
+		e.val, e.err = compute(ctx)
+		close(e.ready)
+
+		c.mu.Lock()
+		cur, present := c.m[key]
+		switch {
+		case e.err != nil:
+			if present && cur == e {
+				c.removeLocked(e)
+			}
+		case present && cur == e:
+			// Account the now-known size and re-check the byte budget.
+			e.size = c.sizeOf(e.val)
+			c.bytes += e.size
+			c.evictLocked()
+		}
+		c.mu.Unlock()
 		return e.val, e.err
 	}
-	c.misses++
-	e := &memoEntry{key: key, ready: make(chan struct{})}
-	e.elem = c.lru.PushFront(e)
-	c.m[key] = e
-	c.evictLocked()
-	c.mu.Unlock()
-
-	e.val, e.err = compute()
-	close(e.ready)
-
-	c.mu.Lock()
-	cur, present := c.m[key]
-	switch {
-	case e.err != nil:
-		if present && cur == e {
-			c.removeLocked(e)
-		}
-	case present && cur == e:
-		// Account the now-known size and re-check the byte budget.
-		e.size = c.sizeOf(e.val)
-		c.bytes += e.size
-		c.evictLocked()
-	}
-	c.mu.Unlock()
-	return e.val, e.err
 }
 
 // setCapacity reconfigures the bounds and evicts down to them.
@@ -251,9 +283,33 @@ func keyVec(b *strings.Builder, v []float64) {
 	b.WriteByte('|')
 }
 
+// curveWorkers is the process-wide fan-out width for dwell-curve sampling
+// on cache misses. 0 selects runtime.GOMAXPROCS(0) — the tentpole default:
+// a single cold derive saturates every core. The sampled curves are
+// byte-identical for every width, so the knob never enters a cache key.
+var curveWorkers atomic.Int32
+
+// SetCurveSamplingWorkers bounds the per-derivation dwell-curve sampling
+// fan-out (switching.SampleCurveOptions.Workers). n ≤ 0 restores the
+// default, runtime.GOMAXPROCS; n = 1 forces sequential sampling.
+func SetCurveSamplingWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	curveWorkers.Store(int32(n))
+}
+
+// CurveSamplingWorkers reports the effective sampling fan-out width.
+func CurveSamplingWorkers() int {
+	if n := int(curveWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // cachedDiscretize memoises lti.Discretize on (plant, h, d). The plant name
 // participates in the key because it is carried into the Discrete.
-func cachedDiscretize(c *lti.Continuous, h, d float64) (*lti.Discrete, error) {
+func cachedDiscretize(ctx context.Context, c *lti.Continuous, h, d float64) (*lti.Discrete, error) {
 	var b strings.Builder
 	b.WriteString("disc|")
 	b.WriteString(c.Name)
@@ -263,7 +319,9 @@ func cachedDiscretize(c *lti.Continuous, h, d float64) (*lti.Discrete, error) {
 	keyMatrix(&b, c.C)
 	keyFloat(&b, h)
 	keyFloat(&b, d)
-	v, err := deriveCache.get(b.String(), func() (any, error) {
+	v, err := deriveCache.get(ctx, b.String(), func(context.Context) (any, error) {
+		// Discretisation is a handful of small matrix exponentials —
+		// too cheap to need intra-computation cancellation points.
 		return lti.Discretize(c, h, d)
 	})
 	if err != nil {
@@ -274,8 +332,9 @@ func cachedDiscretize(c *lti.Continuous, h, d float64) (*lti.Discrete, error) {
 
 // cachedSampleCurve memoises the exhaustive dwell/wait sampling on the
 // switched system's dynamics (the name is excluded: the Curve does not carry
-// it, so identical dynamics under different names share one sampling).
-func cachedSampleCurve(s *switching.System, horizon int) (*switching.Curve, error) {
+// it, so identical dynamics under different names share one sampling; the
+// worker count is excluded because the curve is byte-identical either way).
+func cachedSampleCurve(ctx context.Context, s *switching.System, horizon int) (*switching.Curve, error) {
 	var b strings.Builder
 	b.WriteString("curve|")
 	keyMatrix(&b, s.A1)
@@ -284,8 +343,12 @@ func cachedSampleCurve(s *switching.System, horizon int) (*switching.Curve, erro
 	keyFloat(&b, s.Eth)
 	keyFloat(&b, s.H)
 	fmt.Fprintf(&b, "n%d;h%d", s.NormDims, horizon)
-	v, err := deriveCache.get(b.String(), func() (any, error) {
-		return s.SampleCurve(horizon)
+	v, err := deriveCache.get(ctx, b.String(), func(ctx context.Context) (any, error) {
+		return s.SampleCurveWith(switching.SampleCurveOptions{
+			Workers: CurveSamplingWorkers(),
+			Horizon: horizon,
+			Context: ctx,
+		})
 	})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -11,7 +12,7 @@ import (
 func cacheGetter(t *testing.T, c *memoCache, calls *int) func(key string) {
 	return func(key string) {
 		t.Helper()
-		v, err := c.get(key, func() (any, error) { *calls++; return key, nil })
+		v, err := c.get(context.Background(), key, func(context.Context) (any, error) { *calls++; return key, nil })
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -76,7 +77,7 @@ func TestMemoCacheSingleFlightAtMinCapacity(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err := c.get("k", func() (any, error) {
+			v, err := c.get(context.Background(), "k", func(context.Context) (any, error) {
 				mu.Lock()
 				calls++
 				mu.Unlock()
@@ -156,11 +157,11 @@ func TestMemoCacheSetCapacityShrinks(t *testing.T) {
 func TestMemoCacheDoesNotCacheErrors(t *testing.T) {
 	c := newMemoCache(4, 0)
 	calls := 0
-	fail := func() (any, error) { calls++; return nil, errors.New("boom") }
-	if _, err := c.get("k", fail); err == nil {
+	fail := func(context.Context) (any, error) { calls++; return nil, errors.New("boom") }
+	if _, err := c.get(context.Background(), "k", fail); err == nil {
 		t.Fatal("want error")
 	}
-	if _, err := c.get("k", fail); err == nil {
+	if _, err := c.get(context.Background(), "k", fail); err == nil {
 		t.Fatal("want error on retry")
 	}
 	if calls != 2 {
@@ -169,6 +170,85 @@ func TestMemoCacheDoesNotCacheErrors(t *testing.T) {
 	if st := c.stats(); st.Entries != 0 || st.Bytes != 0 {
 		t.Fatalf("failed entries retained: %+v", st)
 	}
+}
+
+// A cancelled owner must not poison the single-flight entry: the failed
+// computation is dropped and a waiter whose own context is live retries,
+// becoming the new owner.
+func TestMemoCacheCancelledOwnerDoesNotPoison(t *testing.T) {
+	c := newMemoCache(4, 0)
+	ownerCtx, cancelOwner := context.WithCancel(context.Background())
+	ownerStarted := make(chan struct{})
+	ownerResult := make(chan error, 1)
+	go func() {
+		_, err := c.get(ownerCtx, "k", func(ctx context.Context) (any, error) {
+			close(ownerStarted)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		})
+		ownerResult <- err
+	}()
+	<-ownerStarted
+	waiterDone := make(chan struct{})
+	var waiterVal any
+	var waiterErr error
+	go func() {
+		defer close(waiterDone)
+		waiterVal, waiterErr = c.get(context.Background(), "k", func(context.Context) (any, error) {
+			return "recomputed", nil
+		})
+	}()
+	cancelOwner()
+	if err := <-ownerResult; !errors.Is(err, context.Canceled) {
+		t.Fatalf("owner err = %v, want context.Canceled", err)
+	}
+	<-waiterDone
+	if waiterErr != nil || waiterVal != "recomputed" {
+		t.Fatalf("waiter got (%v, %v), want recomputed value", waiterVal, waiterErr)
+	}
+	st := c.stats()
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1 (the recomputed value)", st.Entries)
+	}
+	// And the retried value is served from cache now.
+	v, err := c.get(context.Background(), "k", func(context.Context) (any, error) {
+		t.Error("value recomputed despite being cached")
+		return nil, nil
+	})
+	if err != nil || v != "recomputed" {
+		t.Fatalf("follow-up got (%v, %v)", v, err)
+	}
+}
+
+// A waiter whose own context expires stops waiting immediately instead of
+// blocking on a computation that may outlive its budget.
+func TestMemoCacheWaiterContextExpiry(t *testing.T) {
+	c := newMemoCache(4, 0)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	ownerDone := make(chan struct{})
+	go func() {
+		defer close(ownerDone)
+		v, err := c.get(context.Background(), "k", func(context.Context) (any, error) {
+			close(started)
+			<-release
+			return "v", nil
+		})
+		if err != nil || v != "v" {
+			t.Errorf("owner got (%v, %v)", v, err)
+		}
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.get(ctx, "k", func(context.Context) (any, error) {
+		t.Error("expired waiter started a computation")
+		return nil, nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+	close(release)
+	<-ownerDone
 }
 
 func TestSetDeriveCacheCapacityEvictsShared(t *testing.T) {

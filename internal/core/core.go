@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -118,17 +119,27 @@ type Derived struct {
 // derivations of identical plants (fleets reuse a few plant models heavily)
 // are near-free; see DeriveFleet for the concurrent fleet entry point. The
 // cached intermediates are shared between Derived values and must not be
-// mutated.
+// mutated. On a cache miss the dwell-curve sampling itself fans out across
+// the worker pool configured by SetCurveSamplingWorkers.
 func (a *Application) Derive() (*Derived, error) {
+	return a.DeriveContext(context.Background())
+}
+
+// DeriveContext is Derive with cooperative cancellation: when ctx expires,
+// the in-flight matrix work stops promptly and the error unwraps to
+// ctx.Err(). A cancelled derivation never poisons the shared cache —
+// concurrent derivations of the same artefacts with live contexts retake
+// the computation.
+func (a *Application) DeriveContext(ctx context.Context) (*Derived, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
 	d := &Derived{App: a}
 	var err error
-	if d.DiscTT, err = cachedDiscretize(a.Plant, a.H, a.DelayTT); err != nil {
+	if d.DiscTT, err = cachedDiscretize(ctx, a.Plant, a.H, a.DelayTT); err != nil {
 		return nil, err
 	}
-	if d.DiscET, err = cachedDiscretize(a.Plant, a.H, a.DelayET); err != nil {
+	if d.DiscET, err = cachedDiscretize(ctx, a.Plant, a.H, a.DelayET); err != nil {
 		return nil, err
 	}
 	if d.KTT, err = a.designGain(d.DiscTT, a.PolesTT, a.QTT, a.RTT); err != nil {
@@ -156,7 +167,7 @@ func (a *Application) Derive() (*Derived, error) {
 		NormDims: a.Plant.Order(),
 		H:        a.H,
 	}
-	if d.Curve, err = cachedSampleCurve(d.Sys, 0); err != nil {
+	if d.Curve, err = cachedSampleCurve(ctx, d.Sys, 0); err != nil {
 		return nil, err
 	}
 	if d.NonMono, d.Conservative, d.Simple, err = d.Curve.FitModels(); err != nil {
@@ -189,14 +200,21 @@ func (a *Application) designGain(disc *lti.Discrete, poles []complex128, q, r *m
 // cheap inner loop for calibrating controller designs against target
 // response times (as the case study does to approach Table I).
 func (a *Application) ProbeSettle() (xiTT, xiET float64, err error) {
+	return a.ProbeSettleContext(context.Background())
+}
+
+// ProbeSettleContext is ProbeSettle with cooperative cancellation, so a
+// calibration search under a compute budget stops its settling simulations
+// the moment the budget expires.
+func (a *Application) ProbeSettleContext(ctx context.Context) (xiTT, xiET float64, err error) {
 	if err := a.Validate(); err != nil {
 		return 0, 0, err
 	}
-	discTT, err := cachedDiscretize(a.Plant, a.H, a.DelayTT)
+	discTT, err := cachedDiscretize(ctx, a.Plant, a.H, a.DelayTT)
 	if err != nil {
 		return 0, 0, err
 	}
-	discET, err := cachedDiscretize(a.Plant, a.H, a.DelayET)
+	discET, err := cachedDiscretize(ctx, a.Plant, a.H, a.DelayET)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -231,11 +249,17 @@ func (a *Application) ProbeSettle() (xiTT, xiET float64, err error) {
 		return 0, 0, err
 	}
 	const horizon = 60000
-	kTT, ok := sys.ResponseStepsTT(horizon)
+	kTT, ok, err := sys.ResponseStepsTTContext(ctx, horizon)
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: app %q: probe cancelled: %w", a.Name, err)
+	}
 	if !ok {
 		return 0, 0, fmt.Errorf("core: app %q: TT loop did not settle within the probe horizon", a.Name)
 	}
-	kET, ok := sys.ResponseStepsET(horizon)
+	kET, ok, err := sys.ResponseStepsETContext(ctx, horizon)
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: app %q: probe cancelled: %w", a.Name, err)
+	}
 	if !ok {
 		return 0, 0, fmt.Errorf("core: app %q: ET loop did not settle within the probe horizon", a.Name)
 	}

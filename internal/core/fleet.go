@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 
 	"cpsdyn/internal/conc"
@@ -22,16 +23,22 @@ type FleetOptions struct {
 //
 // All applications are attempted even when some fail; the per-application
 // errors are aggregated with errors.Join, so a single poisoned application
-// reports precisely while the rest of the fleet still validates.
-func DeriveFleet(apps []*Application, opts FleetOptions) ([]*Derived, error) {
+// reports precisely while the rest of the fleet still validates. A ctx
+// expiry is different: it aborts the in-flight derivations promptly, skips
+// the undispatched ones and returns ctx.Err() alone.
+func DeriveFleet(ctx context.Context, apps []*Application, opts FleetOptions) ([]*Derived, error) {
 	out := make([]*Derived, len(apps))
 	if len(apps) == 0 {
-		return out, nil
+		return out, ctx.Err()
 	}
 	errs := make([]error, len(apps))
-	conc.ForEach(len(apps), opts.Workers, func(i int) {
-		out[i], errs[i] = apps[i].Derive()
+	ferr := conc.ForEachCtx(ctx, len(apps), opts.Workers, func(i int) error {
+		out[i], errs[i] = apps[i].DeriveContext(ctx)
+		return nil // app failures are aggregated, not dispatch-stopping
 	})
+	if ferr != nil {
+		return nil, ferr
+	}
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}

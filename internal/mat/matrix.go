@@ -181,19 +181,29 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 
 // MulVec returns the matrix–vector product m·v.
 func (m *Matrix) MulVec(v []float64) []float64 {
-	if m.cols != len(v) {
-		panic(fmt.Sprintf("mat: MulVec shape mismatch %d×%d · %d", m.rows, m.cols, len(v)))
-	}
 	out := make([]float64, m.rows)
+	m.MulVecTo(out, v)
+	return out
+}
+
+// MulVecTo computes dst = m·v without allocating; dst must have length
+// m.Rows() and must not alias v. It is the inner kernel of the settling
+// simulations, which step the same tiny matrix tens of thousands of times.
+func (m *Matrix) MulVecTo(dst, v []float64) {
+	if m.cols != len(v) {
+		panic(fmt.Sprintf("mat: MulVecTo shape mismatch %d×%d · %d", m.rows, m.cols, len(v)))
+	}
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("mat: MulVecTo dst length %d, want %d", len(dst), m.rows))
+	}
 	for i := 0; i < m.rows; i++ {
 		s := 0.0
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		for j, a := range row {
 			s += a * v[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
 }
 
 // T returns the transpose of m.

@@ -79,6 +79,32 @@ func TestMulVec(t *testing.T) {
 	}
 }
 
+func TestMulVecTo(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	dst := make([]float64, 2)
+	v := []float64{5, 6}
+	a.MulVecTo(dst, v)
+	if dst[0] != 17 || dst[1] != 39 {
+		t.Fatalf("MulVecTo = %v, want [17 39]", dst)
+	}
+	if n := testing.AllocsPerRun(100, func() { a.MulVecTo(dst, v) }); n != 0 {
+		t.Fatalf("MulVecTo allocates %g times, want 0", n)
+	}
+	mustPanic(t, "dst length", func() { a.MulVecTo(make([]float64, 3), v) })
+	mustPanic(t, "v length", func() { a.MulVecTo(dst, []float64{1}) })
+}
+
+// mustPanic asserts fn panics; label names the case in failures.
+func mustPanic(t *testing.T, label string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: no panic", label)
+		}
+	}()
+	fn()
+}
+
 func TestTranspose(t *testing.T) {
 	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
 	at := a.T()

@@ -1,0 +1,152 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"cpsdyn/internal/casestudy"
+	"cpsdyn/internal/conc"
+	"cpsdyn/internal/core"
+)
+
+// CalibrateAppSpec describes one application for measured-mode calibration:
+// the plant and timing as in a derive request, plus the pure-mode response
+// targets the controller designs are searched against. EtOmega > 0 selects
+// a lightly-damped complex ET pole pair at that natural frequency (rad/s) —
+// the knob the case study uses for oscillatory plants. Times are in
+// seconds.
+type CalibrateAppSpec struct {
+	Name       string    `json:"name"`
+	Plant      PlantSpec `json:"plant"`
+	H          float64   `json:"h"`
+	DelayTT    float64   `json:"delayTT"`
+	DelayET    float64   `json:"delayET"`
+	Eth        float64   `json:"eth"`
+	X0         []float64 `json:"x0"`
+	R          float64   `json:"r"`
+	Deadline   float64   `json:"deadline"`
+	FrameID    int       `json:"frameID,omitempty"`
+	TargetXiTT float64   `json:"targetXiTT"`
+	TargetXiET float64   `json:"targetXiET"`
+	EtOmega    float64   `json:"etOmega,omitempty"`
+}
+
+// CalibrateRequest is the POST /v1/calibrate body: applications to
+// calibrate against response-time targets and an optional worker-pool
+// bound (≤ 0 selects the server's configured pool).
+type CalibrateRequest struct {
+	Workers int                `json:"workers,omitempty"`
+	Apps    []CalibrateAppSpec `json:"apps"`
+}
+
+// PoleSpec is one calibrated closed-loop pole in JSON form.
+type PoleSpec struct {
+	Re float64 `json:"re"`
+	Im float64 `json:"im,omitempty"`
+}
+
+// CalibrateResult is one application's calibration outcome: the calibrated
+// pole-placement designs plus the same Table-I-style derive row a
+// /v1/derive response carries, so the response both documents the
+// controllers and pastes directly into POST /v1/allocate.
+type CalibrateResult struct {
+	DeriveResult
+	PolesTT []PoleSpec `json:"polesTT"`
+	PolesET []PoleSpec `json:"polesET"`
+}
+
+// CalibrateResponse is the POST /v1/calibrate reply.
+type CalibrateResponse struct {
+	Apps  []CalibrateResult `json:"apps"`
+	Cache core.CacheStats   `json:"cache"`
+}
+
+// application compiles the calibration spec into a core.Application with
+// unset poles (Calibrate fills them); i is the app's position, used for the
+// default frame ID.
+func (s *CalibrateAppSpec) application(i int) (*core.Application, error) {
+	if s.TargetXiTT <= 0 || s.TargetXiET <= s.TargetXiTT {
+		return nil, fmt.Errorf("need 0 < targetXiTT (%g) < targetXiET (%g)", s.TargetXiTT, s.TargetXiET)
+	}
+	d := DeriveAppSpec{
+		Name:     s.Name,
+		Plant:    s.Plant,
+		H:        s.H,
+		DelayTT:  s.DelayTT,
+		DelayET:  s.DelayET,
+		Eth:      s.Eth,
+		X0:       s.X0,
+		R:        s.R,
+		Deadline: s.Deadline,
+		FrameID:  s.FrameID,
+	}
+	return d.application(i)
+}
+
+func poleSpecs(ps []complex128) []PoleSpec {
+	out := make([]PoleSpec, len(ps))
+	for i, p := range ps {
+		out[i] = PoleSpec{Re: real(p), Im: imag(p)}
+	}
+	return out
+}
+
+// Calibrate runs the full measured-mode workflow for a fleet: search the
+// controller designs against the per-app response targets (each app's
+// search runs on the bounded worker pool and itself evaluates probes
+// speculatively), then derive the calibrated fleet through the shared memo
+// cache. A ctx expiry aborts both phases promptly.
+func Calibrate(ctx context.Context, req *CalibrateRequest) (*CalibrateResponse, error) {
+	if len(req.Apps) == 0 {
+		return nil, errors.New("no apps in request")
+	}
+	apps := make([]*core.Application, len(req.Apps))
+	for i := range req.Apps {
+		a, err := req.Apps[i].application(i)
+		if err != nil {
+			return nil, fmt.Errorf("app %q: %w", req.Apps[i].Name, err)
+		}
+		apps[i] = a
+	}
+	errs := make([]error, len(apps))
+	ferr := conc.ForEachCtx(ctx, len(apps), req.Workers, func(i int) error {
+		spec := &req.Apps[i]
+		if err := casestudy.Calibrate(ctx, apps[i], spec.TargetXiTT, spec.TargetXiET, spec.EtOmega); err != nil {
+			errs[i] = fmt.Errorf("app %q: %w", spec.Name, err)
+		}
+		return nil // per-app failures are aggregated, not dispatch-stopping
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	fleet, err := core.DeriveFleet(ctx, apps, core.FleetOptions{Workers: req.Workers})
+	if err != nil {
+		return nil, err
+	}
+	resp := &CalibrateResponse{Apps: make([]CalibrateResult, len(fleet))}
+	for i, d := range fleet {
+		resp.Apps[i] = CalibrateResult{
+			DeriveResult: deriveResult(d),
+			PolesTT:      poleSpecs(apps[i].PolesTT),
+			PolesET:      poleSpecs(apps[i].PolesET),
+		}
+	}
+	resp.Cache = core.DeriveCacheStats()
+	return resp, nil
+}
+
+func calibrateEndpoint(ctx context.Context, s *Server, body []byte) (any, error) {
+	var req CalibrateRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	// As for /v1/derive, the operator's -workers flag is a ceiling.
+	if req.Workers <= 0 || (s.cfg.Workers > 0 && req.Workers > s.cfg.Workers) {
+		req.Workers = s.cfg.Workers
+	}
+	return Calibrate(ctx, &req)
+}

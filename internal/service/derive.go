@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -135,8 +136,9 @@ func (s *DeriveAppSpec) application(i int) (*core.Application, error) {
 
 // Derive compiles the request into a fleet, derives it through
 // core.DeriveFleet (bounded worker pool, shared memo cache) and reports one
-// timing row per app in input order.
-func Derive(req *DeriveRequest) (*DeriveResponse, error) {
+// timing row per app in input order. A ctx expiry aborts the in-flight
+// matrix work promptly.
+func Derive(ctx context.Context, req *DeriveRequest) (*DeriveResponse, error) {
 	if len(req.Apps) == 0 {
 		return nil, errors.New("no apps in request")
 	}
@@ -148,30 +150,36 @@ func Derive(req *DeriveRequest) (*DeriveResponse, error) {
 		}
 		apps[i] = a
 	}
-	fleet, err := core.DeriveFleet(apps, core.FleetOptions{Workers: req.Workers})
+	fleet, err := core.DeriveFleet(ctx, apps, core.FleetOptions{Workers: req.Workers})
 	if err != nil {
 		return nil, err
 	}
 	resp := &DeriveResponse{Apps: make([]DeriveResult, len(fleet))}
 	for i, d := range fleet {
-		row := d.TimingRow()
-		resp.Apps[i] = DeriveResult{
-			Name:         row.Name,
-			XiTT:         row.XiTT,
-			XiET:         row.XiET,
-			XiM:          row.XiM,
-			Kp:           row.Kp,
-			XiPrimeM:     row.XiPrimeM,
-			NonMonotonic: d.Curve.IsNonMonotonic(),
-			Model: ModelSpec{
-				Kind: "non-monotonic",
-				XiTT: row.XiTT,
-				Kp:   row.Kp,
-				XiM:  row.XiM,
-				XiET: row.XiET,
-			},
-		}
+		resp.Apps[i] = deriveResult(d)
 	}
 	resp.Cache = core.DeriveCacheStats()
 	return resp, nil
+}
+
+// deriveResult flattens one derived application into its wire row (shared
+// by the derive and calibrate endpoints).
+func deriveResult(d *core.Derived) DeriveResult {
+	row := d.TimingRow()
+	return DeriveResult{
+		Name:         row.Name,
+		XiTT:         row.XiTT,
+		XiET:         row.XiET,
+		XiM:          row.XiM,
+		Kp:           row.Kp,
+		XiPrimeM:     row.XiPrimeM,
+		NonMonotonic: d.Curve.IsNonMonotonic(),
+		Model: ModelSpec{
+			Kind: "non-monotonic",
+			XiTT: row.XiTT,
+			Kp:   row.Kp,
+			XiM:  row.XiM,
+			XiET: row.XiET,
+		},
+	}
 }

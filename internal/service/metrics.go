@@ -1,0 +1,49 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"cpsdyn/internal/core"
+	"cpsdyn/internal/switching"
+)
+
+// handleMetrics serves the /statsz counters in Prometheus text exposition
+// format (version 0.0.4), hand-rolled so fleet dashboards can scrape
+// cpsdynd without this module growing a client-library dependency.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	cache := core.DeriveCacheStats()
+	srv := s.Stats()
+	var b strings.Builder
+	metric := func(name, typ, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	}
+	metric("cpsdynd_cache_hits_total", "counter",
+		"Derivation-cache hits.", float64(cache.Hits))
+	metric("cpsdynd_cache_misses_total", "counter",
+		"Derivation-cache misses (computations started).", float64(cache.Misses))
+	metric("cpsdynd_cache_evictions_total", "counter",
+		"Derivation-cache LRU evictions.", float64(cache.Evictions))
+	metric("cpsdynd_cache_entries", "gauge",
+		"Derivation-cache current entry count.", float64(cache.Entries))
+	metric("cpsdynd_cache_bytes", "gauge",
+		"Derivation-cache approximate retained bytes.", float64(cache.Bytes))
+	metric("cpsdynd_requests_total", "counter",
+		"Compute requests completed (including failed and cancelled ones).", float64(srv.Requests))
+	metric("cpsdynd_rejected_total", "counter",
+		"Requests rejected after waiting out their budget for an in-flight slot.", float64(srv.Rejected))
+	metric("cpsdynd_timed_out_total", "counter",
+		"Requests whose compute budget expired.", float64(srv.TimedOut))
+	metric("cpsdynd_cancelled_total", "counter",
+		"Computations aborted by budget expiry or client disconnect.", float64(srv.Cancelled))
+	metric("cpsdynd_in_flight", "gauge",
+		"Requests currently computing.", float64(srv.InFlight))
+	metric("cpsdynd_max_in_flight", "gauge",
+		"The in-flight concurrency bound.", float64(srv.MaxInFlight))
+	metric("cpsdynd_sim_steps_total", "counter",
+		"Cumulative closed-loop simulation steps across all derivations.", float64(switching.SimSteps()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}

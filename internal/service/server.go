@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cpsdyn/internal/core"
+	"cpsdyn/internal/switching"
 )
 
 // Config tunes the HTTP server. The zero value selects sensible defaults.
@@ -28,6 +29,12 @@ type Config struct {
 	Workers int
 	// MaxBodyBytes bounds request bodies. ≤ 0 selects 8 MiB.
 	MaxBodyBytes int64
+	// CompleteInBackground restores the pre-cancellation behaviour: a
+	// computation whose budget expires (or whose client disconnects) keeps
+	// running detached so its artefacts still warm the cache for a retry.
+	// The default is to cancel it — an abandoned request stops consuming
+	// CPU the moment nobody is waiting for its answer.
+	CompleteInBackground bool
 }
 
 func (c Config) withDefaults() Config {
@@ -49,25 +56,28 @@ type ServerStats struct {
 	Requests    uint64 `json:"requests"`    // compute requests completed
 	Rejected    uint64 `json:"rejected"`    // gave up waiting for a slot
 	TimedOut    uint64 `json:"timedOut"`    // exceeded the compute budget
+	Cancelled   uint64 `json:"cancelled"`   // computations aborted by cancellation
 	InFlight    int64  `json:"inFlight"`    // currently computing
 	MaxInFlight int    `json:"maxInFlight"` // the semaphore bound
 }
 
-// Server is the cpsdynd HTTP handler: batch derivation and allocation on
-// top of the process-wide warm derivation cache, with bounded in-flight
-// concurrency and per-request compute timeouts. Create it with New; it is
-// safe for concurrent use. Graceful shutdown is the owning http.Server's
-// job (http.Server.Shutdown) — in-flight computations finish on their own
-// goroutines and release their semaphore slot even if the client is gone.
+// Server is the cpsdynd HTTP handler: batch derivation, calibration and
+// allocation on top of the process-wide warm derivation cache, with bounded
+// in-flight concurrency and per-request compute budgets that actually
+// cancel the in-flight matrix work on expiry or client disconnect (unless
+// Config.CompleteInBackground opts back into detached completion). Create
+// it with New; it is safe for concurrent use. Graceful shutdown is the
+// owning http.Server's job (http.Server.Shutdown).
 type Server struct {
 	cfg Config
 	mux *http.ServeMux
 	sem chan struct{}
 
-	requests atomic.Uint64
-	rejected atomic.Uint64
-	timedOut atomic.Uint64
-	inFlight atomic.Int64
+	requests  atomic.Uint64
+	rejected  atomic.Uint64
+	timedOut  atomic.Uint64
+	cancelled atomic.Uint64
+	inFlight  atomic.Int64
 }
 
 // New builds the service handler.
@@ -79,8 +89,10 @@ func New(cfg Config) *Server {
 	s.sem = make(chan struct{}, s.cfg.MaxInFlight)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/derive", s.compute(deriveEndpoint))
 	s.mux.HandleFunc("POST /v1/allocate", s.compute(allocateEndpoint))
+	s.mux.HandleFunc("POST /v1/calibrate", s.compute(calibrateEndpoint))
 	return s
 }
 
@@ -93,6 +105,7 @@ func (s *Server) Stats() ServerStats {
 		Requests:    s.requests.Load(),
 		Rejected:    s.rejected.Load(),
 		TimedOut:    s.timedOut.Load(),
+		Cancelled:   s.cancelled.Load(),
 		InFlight:    s.inFlight.Load(),
 		MaxInFlight: s.cfg.MaxInFlight,
 	}
@@ -118,23 +131,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// StatszResponse is the GET /statsz body.
+// StatszResponse is the GET /statsz body. SimSteps is the cumulative
+// closed-loop simulation step counter (switching.SimSteps) — a live compute
+// gauge: it stops climbing when cancelled computations actually stop.
 type StatszResponse struct {
-	Cache  core.CacheStats `json:"cache"`
-	Server ServerStats     `json:"server"`
+	Cache    core.CacheStats `json:"cache"`
+	Server   ServerStats     `json:"server"`
+	SimSteps uint64          `json:"simSteps"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, StatszResponse{
-		Cache:  core.DeriveCacheStats(),
-		Server: s.Stats(),
+		Cache:    core.DeriveCacheStats(),
+		Server:   s.Stats(),
+		SimSteps: switching.SimSteps(),
 	})
 }
 
 // endpoint decodes its body and computes a response; a returned error is a
-// client error (400). Implementations must be context-oblivious: compute
-// wraps them with the timeout/semaphore machinery.
-type endpoint func(s *Server, body []byte) (any, error)
+// client error (400). compute wraps it with the semaphore/budget machinery
+// and hands it the context whose expiry must abort the computation.
+type endpoint func(ctx context.Context, s *Server, body []byte) (any, error)
 
 // internalError marks a server-side failure (a recovered panic) so the
 // handler answers 500 instead of blaming the client with a 400.
@@ -147,22 +164,29 @@ func (e *internalError) Unwrap() error { return e.err }
 // daemon must fail one request, not the whole process, when a computation
 // panics (internal/mat panics on shape errors, and future endpoints may
 // have validation gaps).
-func runEndpoint(fn endpoint, s *Server, body []byte) (v any, err error) {
+func runEndpoint(ctx context.Context, fn endpoint, s *Server, body []byte) (v any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			v, err = nil, &internalError{fmt.Errorf("internal error: %v", r)}
 		}
 	}()
-	return fn(s, body)
+	return fn(ctx, s, body)
+}
+
+// isCancellation reports whether err is a context expiry.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // compute wraps an endpoint with the service's resource discipline:
 // the request first acquires an in-flight slot (or is rejected with 503
 // when its context expires while queueing), then runs on its own goroutine
-// under the per-request compute budget (504 on overrun). A timed-out
-// computation is not abandoned mid-flight — it finishes in the background,
-// still counted against MaxInFlight, so its artefacts warm the cache for
-// the retry.
+// under the per-request compute budget (504 on overrun). By default the
+// budget and the client connection actually govern the computation — a
+// timeout or disconnect cancels the in-flight matrix work, which stops
+// promptly and releases its slot instead of burning CPU for an answer
+// nobody will read. Config.CompleteInBackground restores the old detached
+// behaviour (the abandoned computation finishes and warms the cache).
 func (s *Server) compute(fn endpoint) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		body, status, err := readBody(r, s.cfg.MaxBodyBytes)
@@ -191,6 +215,12 @@ func (s *Server) compute(fn endpoint) http.HandlerFunc {
 				return
 			}
 		}
+		computeCtx := ctx
+		if s.cfg.CompleteInBackground {
+			// Detach the computation from the request's fate; the budget
+			// then only bounds how long the client waits for the answer.
+			computeCtx = context.Background()
+		}
 		type result struct {
 			v   any
 			err error
@@ -198,7 +228,10 @@ func (s *Server) compute(fn endpoint) http.HandlerFunc {
 		done := make(chan result, 1)
 		s.inFlight.Add(1)
 		go func() {
-			v, err := runEndpoint(fn, s, body)
+			v, err := runEndpoint(computeCtx, fn, s, body)
+			if err != nil && isCancellation(err) {
+				s.cancelled.Add(1)
+			}
 			// Settle the books before delivering the result, so a client
 			// that reads its response and immediately polls /statsz sees
 			// its own request counted and its slot free.
@@ -210,6 +243,24 @@ func (s *Server) compute(fn endpoint) http.HandlerFunc {
 		select {
 		case res := <-done:
 			if res.err != nil {
+				if isCancellation(res.err) {
+					// The compute context expired and the computation
+					// noticed before this select observed ctx.Done. Only a
+					// budget overrun is a 504; for a client disconnect
+					// nobody is listening for a reply.
+					switch {
+					case errors.Is(ctx.Err(), context.DeadlineExceeded):
+						s.timedOut.Add(1)
+						writeError(w, http.StatusGatewayTimeout,
+							fmt.Errorf("request exceeded the %s compute budget", s.cfg.Timeout))
+					case ctx.Err() != nil: // disconnected
+					default:
+						// A cancellation error without an expired request
+						// context can only be an endpoint bug.
+						writeError(w, http.StatusInternalServerError, res.err)
+					}
+					return
+				}
 				status := http.StatusBadRequest
 				var ie *internalError
 				if errors.As(res.err, &ie) {
@@ -222,8 +273,8 @@ func (s *Server) compute(fn endpoint) http.HandlerFunc {
 		case <-ctx.Done():
 			if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
 				// Client disconnected; nobody is listening for a reply and
-				// the compute budget was not the problem. The computation
-				// still completes in the background and warms the cache.
+				// the compute budget was not the problem. By default the
+				// cancellation has already reached the computation.
 				return
 			}
 			s.timedOut.Add(1)
@@ -255,7 +306,7 @@ func decodeStrict(body []byte, v any) error {
 	return nil
 }
 
-func deriveEndpoint(s *Server, body []byte) (any, error) {
+func deriveEndpoint(ctx context.Context, s *Server, body []byte) (any, error) {
 	var req DeriveRequest
 	if err := decodeStrict(body, &req); err != nil {
 		return nil, err
@@ -265,7 +316,7 @@ func deriveEndpoint(s *Server, body []byte) (any, error) {
 	if req.Workers <= 0 || (s.cfg.Workers > 0 && req.Workers > s.cfg.Workers) {
 		req.Workers = s.cfg.Workers
 	}
-	return Derive(&req)
+	return Derive(ctx, &req)
 }
 
 // AllocateResponse is the POST /v1/allocate body for batch requests; a
@@ -275,7 +326,9 @@ type AllocateResponse struct {
 	Fleets []*FleetResult `json:"fleets"`
 }
 
-func allocateEndpoint(s *Server, body []byte) (any, error) {
+func allocateEndpoint(_ context.Context, s *Server, body []byte) (any, error) {
+	// Allocation analysis is cheap arithmetic; it finishes well inside any
+	// budget, so it does not take cancellation points.
 	var req AllocateRequest
 	if err := decodeStrict(body, &req); err != nil {
 		return nil, err

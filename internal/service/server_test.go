@@ -2,9 +2,12 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -340,6 +343,108 @@ func TestEndpointErrors(t *testing.T) {
 	}
 }
 
+// /metrics exports the /statsz counters in Prometheus text format.
+func TestMetricsPrometheusFormat(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	if code, out := postJSON(t, ts.URL+"/v1/derive", servoDeriveRequest(1)); code != http.StatusOK {
+		t.Fatalf("derive status = %d: %s", code, out)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q, want text/plain", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE cpsdynd_cache_hits_total counter",
+		"# TYPE cpsdynd_cache_misses_total counter",
+		"# TYPE cpsdynd_in_flight gauge",
+		"# TYPE cpsdynd_sim_steps_total counter",
+		"cpsdynd_requests_total 1\n",
+		"cpsdynd_cache_misses_total 3\n", // the cold servo derive
+		"cpsdynd_cancelled_total 0\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// /v1/calibrate owns the measured-mode workflow: targets in, calibrated
+// poles plus a derive row out, feasible as an allocate request.
+func TestCalibrateEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping calibration search in -short mode")
+	}
+	ts := newTestServer(t, Config{})
+	servo := servoDeriveRequest(1).Apps[0]
+	req := &CalibrateRequest{Apps: []CalibrateAppSpec{{
+		Name:       "servo",
+		Plant:      servo.Plant,
+		H:          servo.H,
+		DelayTT:    servo.DelayTT,
+		DelayET:    servo.DelayET,
+		Eth:        servo.Eth,
+		X0:         servo.X0,
+		R:          servo.R,
+		Deadline:   servo.Deadline,
+		TargetXiTT: 0.68,
+		TargetXiET: 2.16,
+	}}}
+	code, out := postJSON(t, ts.URL+"/v1/calibrate", req)
+	if code != http.StatusOK {
+		t.Fatalf("calibrate status = %d: %s", code, out)
+	}
+	var resp CalibrateResponse
+	if err := json.Unmarshal(out, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Apps) != 1 {
+		t.Fatalf("calibrate returned %d apps, want 1", len(resp.Apps))
+	}
+	got := resp.Apps[0]
+	if len(got.PolesTT) == 0 || len(got.PolesET) == 0 {
+		t.Fatalf("missing calibrated poles: %+v", got)
+	}
+	// The calibration tolerance is one sampling period or 5%, whichever is
+	// looser; the reported response times must approach the targets.
+	if math.Abs(got.XiTT-0.68) > 0.2 || math.Abs(got.XiET-2.16) > 0.25 {
+		t.Fatalf("calibrated (ξTT=%.3f, ξET=%.3f), want ≈ (0.68, 2.16)", got.XiTT, got.XiET)
+	}
+	if got.Model.Kind != "non-monotonic" {
+		t.Fatalf("model kind = %q", got.Model.Kind)
+	}
+}
+
+func TestCalibrateEndpointErrors(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for _, c := range []struct{ name, body string }{
+		{"no apps", `{"apps":[]}`},
+		{"bad json", `{`},
+		{"unknown field", `{"wat":1}`},
+		{"bad targets", `{"apps":[{"name":"a","plant":{"a":[[0,1],[-2,-3]],"b":[[0],[1]]},"h":0.02,"delayTT":0.002,"delayET":0.02,"eth":0.1,"x0":[0,2],"r":8,"deadline":3,"targetXiTT":2.0,"targetXiET":1.0}]}`},
+	} {
+		resp, err := http.Post(ts.URL+"/v1/calibrate", "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", c.name, resp.StatusCode)
+		}
+	}
+}
+
 func TestMethodNotAllowed(t *testing.T) {
 	ts := newTestServer(t, Config{})
 	resp, err := http.Get(ts.URL + "/v1/derive")
@@ -427,7 +532,7 @@ func TestOversizedBodyIs413(t *testing.T) {
 // the daemon.
 func TestComputeRecoversPanic(t *testing.T) {
 	s := New(Config{})
-	h := s.compute(func(*Server, []byte) (any, error) { panic("boom") })
+	h := s.compute(func(context.Context, *Server, []byte) (any, error) { panic("boom") })
 	rr := httptest.NewRecorder()
 	h(rr, httptest.NewRequest(http.MethodPost, "/x", strings.NewReader(`{}`)))
 	if rr.Code != http.StatusInternalServerError {
@@ -439,6 +544,139 @@ func TestComputeRecoversPanic(t *testing.T) {
 	}
 	if st := s.Stats(); st.InFlight != 0 || st.Requests != 1 {
 		t.Fatalf("stats after panic = %+v, want drained", st)
+	}
+}
+
+// slowDeriveRequest builds a single-app derive whose ET design settles
+// glacially (poles just inside the unit circle), so the exhaustive curve
+// sampling runs long enough for cancellation races to be deterministic.
+func slowDeriveRequest() *DeriveRequest {
+	req := servoDeriveRequest(1)
+	req.Apps[0].Name = "glacial"
+	req.Apps[0].PolesET = []float64{0.9995, 0.999, 0.10}
+	return req
+}
+
+// The acceptance test of cancellation-by-default: a request whose budget
+// expires answers 504 AND stops consuming CPU — observed via the
+// process-wide simulation-step counter, which must stop climbing once the
+// in-flight gauge drains.
+func TestBudgetExpiryStopsCompute(t *testing.T) {
+	ts := newTestServer(t, Config{Timeout: 30 * time.Millisecond})
+	code, out := postJSON(t, ts.URL+"/v1/derive", slowDeriveRequest())
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%s), want 504", code, out)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	var stats StatszResponse
+	for {
+		if c := getJSON(t, ts.URL+"/statsz", &stats); c != http.StatusOK {
+			t.Fatalf("statsz status = %d", c)
+		}
+		if stats.Server.InFlight == 0 && stats.Server.Cancelled >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("computation not cancelled: %+v", stats.Server)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// With the computation cancelled and nothing else in flight, the
+	// compute-step counter must be flat.
+	steps := stats.SimSteps
+	time.Sleep(150 * time.Millisecond)
+	if c := getJSON(t, ts.URL+"/statsz", &stats); c != http.StatusOK {
+		t.Fatalf("statsz status = %d", c)
+	}
+	if stats.SimSteps != steps {
+		t.Fatalf("sim steps still climbing after cancellation: %d → %d", steps, stats.SimSteps)
+	}
+	if stats.Server.TimedOut == 0 {
+		t.Fatalf("timedOut = 0, want ≥ 1: %+v", stats.Server)
+	}
+}
+
+// A disconnected client cancels its computation just like a budget expiry.
+func TestClientDisconnectStopsCompute(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	body, err := json.Marshal(slowDeriveRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/derive", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	// Give the request a moment to start computing, then walk away.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("client err = %v, want context.Canceled", err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	var stats StatszResponse
+	for {
+		if c := getJSON(t, ts.URL+"/statsz", &stats); c != http.StatusOK {
+			t.Fatalf("statsz status = %d", c)
+		}
+		if stats.Server.InFlight == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("computation still in flight after disconnect: %+v", stats.Server)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The computation may have finished before the disconnect on a fast
+	// machine; when it did not, it must be counted as cancelled and the
+	// step counter must be flat.
+	steps := stats.SimSteps
+	time.Sleep(150 * time.Millisecond)
+	if c := getJSON(t, ts.URL+"/statsz", &stats); c != http.StatusOK {
+		t.Fatalf("statsz status = %d", c)
+	}
+	if stats.SimSteps != steps {
+		t.Fatalf("sim steps still climbing after disconnect: %d → %d", steps, stats.SimSteps)
+	}
+}
+
+// CompleteInBackground opts back into the old semantics: the timed-out
+// computation keeps running detached and warms the cache for the retry.
+func TestCompleteInBackgroundWarmsCache(t *testing.T) {
+	ts := newTestServer(t, Config{Timeout: 1 * time.Nanosecond, CompleteInBackground: true})
+	req := servoDeriveRequest(1)
+	code, out := postJSON(t, ts.URL+"/v1/derive", req)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%s), want 504", code, out)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	var stats StatszResponse
+	for {
+		if c := getJSON(t, ts.URL+"/statsz", &stats); c != http.StatusOK {
+			t.Fatalf("statsz status = %d", c)
+		}
+		if stats.Server.InFlight == 0 && stats.Server.Requests == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background computation never finished: %+v", stats.Server)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if stats.Server.Cancelled != 0 {
+		t.Fatalf("cancelled = %d, want 0 in background mode", stats.Server.Cancelled)
+	}
+	if stats.Cache.Misses == 0 || stats.Cache.Entries == 0 {
+		t.Fatalf("background completion did not warm the cache: %+v", stats.Cache)
 	}
 }
 

@@ -13,8 +13,13 @@
 package switching
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
+	"sync/atomic"
 
+	"cpsdyn/internal/conc"
 	"cpsdyn/internal/mat"
 	"cpsdyn/internal/pwl"
 )
@@ -76,41 +81,107 @@ func (s *System) Norm(x []float64) float64 {
 	return mat.VecNorm2(x[:s.normDims()])
 }
 
+// simSteps counts every closed-loop state-update (matrix–vector) step this
+// package simulates, process-wide. It is a cheap progress gauge: tests and
+// the cpsdynd /metrics endpoint use it to observe that cancelled derivations
+// actually stop stepping instead of burning CPU in the background.
+var simSteps atomic.Uint64
+
+// SimSteps returns the cumulative number of simulated state-update steps.
+func SimSteps() uint64 { return simSteps.Load() }
+
+// stepFlush is how many simulation steps run between context checks and
+// counter flushes inside one settling run. At ~40 flops per step this is a
+// sub-millisecond cancellation latency even on slow hardware.
+const stepFlush = 4096
+
+// scratch holds the two state buffers a settling simulation ping-pongs
+// between, so stepping allocates nothing no matter the horizon.
+type scratch struct{ cur, nxt []float64 }
+
+func newScratch(n int) *scratch {
+	return &scratch{cur: make([]float64, n), nxt: make([]float64, n)}
+}
+
 // settle returns the first step index k such that the trajectory of a from
-// x0 satisfies ‖x[j]‖ ≤ Eth for all j ∈ [k, horizon].
-func (s *System) settle(a *mat.Matrix, x0 []float64, horizon int) (int, bool) {
-	x := append([]float64(nil), x0...)
+// x0 satisfies ‖x[j]‖ ≤ Eth for all j ∈ [k, horizon]. The state is stepped
+// in sc's buffers (x0 may alias sc.cur); a nil ctx disables cancellation
+// checks, a cancelled ctx aborts mid-run with its error.
+func (s *System) settle(ctx context.Context, a *mat.Matrix, x0 []float64, horizon int, sc *scratch) (int, bool, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, false, err
+		}
+	}
+	cur, nxt := sc.cur, sc.nxt
+	copy(cur, x0)
 	lastAbove := -1
+	pending := 0 // steps not yet flushed to the global counter
 	for k := 0; k <= horizon; k++ {
-		if s.Norm(x) > s.Eth {
+		if s.Norm(cur) > s.Eth {
 			lastAbove = k
 		}
-		if k < horizon {
-			x = a.MulVec(x)
+		if k == horizon {
+			break
+		}
+		a.MulVecTo(nxt, cur)
+		cur, nxt = nxt, cur
+		if pending++; pending == stepFlush {
+			simSteps.Add(stepFlush)
+			pending = 0
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return 0, false, err
+				}
+			}
 		}
 	}
+	simSteps.Add(uint64(pending))
 	if lastAbove == horizon {
-		return horizon, false
+		return horizon, false, nil
 	}
-	return lastAbove + 1, true
+	return lastAbove + 1, true, nil
 }
 
 // ResponseStepsET returns the settling step count under pure ET
 // communication (the paper's ξET in samples).
-func (s *System) ResponseStepsET(horizon int) (int, bool) { return s.settle(s.A1, s.X0, horizon) }
+func (s *System) ResponseStepsET(horizon int) (int, bool) {
+	k, ok, _ := s.settle(nil, s.A1, s.X0, horizon, newScratch(len(s.X0)))
+	return k, ok
+}
 
 // ResponseStepsTT returns the settling step count under pure TT
 // communication (the paper's ξTT in samples).
-func (s *System) ResponseStepsTT(horizon int) (int, bool) { return s.settle(s.A2, s.X0, horizon) }
+func (s *System) ResponseStepsTT(horizon int) (int, bool) {
+	k, ok, _ := s.settle(nil, s.A2, s.X0, horizon, newScratch(len(s.X0)))
+	return k, ok
+}
+
+// ResponseStepsETContext is ResponseStepsET with cooperative cancellation:
+// the error is non-nil exactly when ctx expired mid-simulation.
+func (s *System) ResponseStepsETContext(ctx context.Context, horizon int) (int, bool, error) {
+	return s.settle(ctx, s.A1, s.X0, horizon, newScratch(len(s.X0)))
+}
+
+// ResponseStepsTTContext is ResponseStepsTT with cooperative cancellation.
+func (s *System) ResponseStepsTTContext(ctx context.Context, horizon int) (int, bool, error) {
+	return s.settle(ctx, s.A2, s.X0, horizon, newScratch(len(s.X0)))
+}
 
 // DwellSteps returns kdw for a given kwait (both in samples): the settling
-// step count of A2 started from A1^kwait·x0.
+// step count of A2 started from A1^kwait·x0. The whole walk runs in one
+// pair of scratch buffers, so the cost is independent of allocation no
+// matter how large kwait and the horizon are.
 func (s *System) DwellSteps(kwait, horizon int) (int, bool) {
-	x := append([]float64(nil), s.X0...)
+	sc := newScratch(len(s.X0))
+	copy(sc.cur, s.X0)
 	for k := 0; k < kwait; k++ {
-		x = s.A1.MulVec(x)
+		s.A1.MulVecTo(sc.nxt, sc.cur)
+		sc.cur, sc.nxt = sc.nxt, sc.cur
 	}
-	return s.settle(s.A2, x, horizon)
+	simSteps.Add(uint64(kwait))
+	k, ok, _ := s.settle(nil, s.A2, sc.cur, horizon, sc)
+	return k, ok
 }
 
 // Curve is a sampled dwell/wait relation together with the pure-mode
@@ -122,38 +193,109 @@ type Curve struct {
 	H       float64     // sampling period
 }
 
+// SampleCurveOptions tunes the dwell-curve sampling.
+type SampleCurveOptions struct {
+	// Workers bounds the fan-out of the per-kwait settling simulations.
+	// 1 runs strictly sequentially; ≤ 0 selects runtime.GOMAXPROCS(0).
+	// The sampled curve is byte-identical for every worker count.
+	Workers int
+	// Horizon bounds each settling simulation; it must comfortably exceed
+	// the slowest settling (Validate-checked stability guarantees
+	// existence). ≤ 0 selects 20000.
+	Horizon int
+	// Context cancels the sampling cooperatively; nil means no
+	// cancellation. On expiry the error unwraps to ctx.Err().
+	Context context.Context
+}
+
 // SampleCurve measures kdw(kwait) for every kwait from 0 up to the pure-ET
-// settling time. The horizon bounds each settling simulation; it must
-// comfortably exceed the slowest settling (Validate-checked stability
-// guarantees existence).
+// settling time, sequentially. See SampleCurveWith for the sharded variant.
 func (s *System) SampleCurve(horizon int) (*Curve, error) {
+	return s.SampleCurveWith(SampleCurveOptions{Workers: 1, Horizon: horizon})
+}
+
+// SampleCurveWith measures kdw(kwait) for every kwait from 0 up to the
+// pure-ET settling time in two phases. A sequential prepass walks
+// x_kwait = A1^kwait·x0 once (kET cheap matrix–vector products into one flat
+// buffer); the fan-out then runs each kwait's independent A2 settling
+// simulation across a bounded worker pool. Every simulation performs the
+// exact same float arithmetic in every configuration, so the curve is
+// byte-identical to the sequential path for any worker count.
+func (s *System) SampleCurveWith(opts SampleCurveOptions) (*Curve, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	ctx := opts.Context
+	horizon := opts.Horizon
 	if horizon <= 0 {
 		horizon = 20000
 	}
-	kET, ok := s.ResponseStepsET(horizon)
+	n := len(s.X0)
+	sc := newScratch(n)
+	kET, ok, err := s.settle(ctx, s.A1, s.X0, horizon, sc)
+	if err != nil {
+		return nil, fmt.Errorf("switching: %s: sampling cancelled: %w", s.Name, err)
+	}
 	if !ok {
 		return nil, fmt.Errorf("switching: %s: ET loop did not settle within %d steps", s.Name, horizon)
 	}
-	kTT, ok := s.ResponseStepsTT(horizon)
+	kTT, ok, err := s.settle(ctx, s.A2, s.X0, horizon, sc)
+	if err != nil {
+		return nil, fmt.Errorf("switching: %s: sampling cancelled: %w", s.Name, err)
+	}
 	if !ok {
 		return nil, fmt.Errorf("switching: %s: TT loop did not settle within %d steps", s.Name, horizon)
 	}
-	samples := make([]pwl.Point, 0, kET+1)
-	x := append([]float64(nil), s.X0...)
-	for kwait := 0; kwait < kET; kwait++ {
-		kdw, ok := s.settle(s.A2, x, horizon)
+	// Prepass: the switch states x_kwait = A1^kwait·x0 for every kwait,
+	// row kwait of one flat buffer. kET can be 0 when a user-constructed
+	// system starts below its threshold; the curve is then the single
+	// kwait = 0 endpoint appended below.
+	states := make([]float64, kET*n)
+	if kET > 0 {
+		copy(states[:n], s.X0)
+		for k := 1; k < kET; k++ {
+			s.A1.MulVecTo(states[k*n:(k+1)*n], states[(k-1)*n:k*n])
+		}
+		simSteps.Add(uint64(kET - 1))
+	}
+	// Fan-out: the settling runs are independent; shard them across the
+	// pool, one scratch pair per worker.
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > kET {
+		workers = kET
+	}
+	scratches := make([]*scratch, workers)
+	for w := range scratches {
+		scratches[w] = newScratch(n)
+	}
+	kdw := make([]int, kET)
+	err = conc.ForEachWorkerCtx(ctx, kET, workers, func(w, kwait int) error {
+		k, ok, err := s.settle(ctx, s.A2, states[kwait*n:(kwait+1)*n], horizon, scratches[w])
+		if err != nil {
+			return err
+		}
 		if !ok {
-			return nil, fmt.Errorf("switching: %s: TT loop did not settle from kwait=%d within %d steps",
+			return fmt.Errorf("switching: %s: TT loop did not settle from kwait=%d within %d steps",
 				s.Name, kwait, horizon)
 		}
+		kdw[kwait] = k
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, fmt.Errorf("switching: %s: sampling cancelled: %w", s.Name, err)
+		}
+		return nil, err
+	}
+	samples := make([]pwl.Point, 0, kET+1)
+	for kwait := 0; kwait < kET; kwait++ {
 		samples = append(samples, pwl.Point{
 			Wait:  float64(kwait) * s.H,
-			Dwell: float64(kdw) * s.H,
+			Dwell: float64(kdw[kwait]) * s.H,
 		})
-		x = s.A1.MulVec(x)
 	}
 	// At kwait = ξET the plant has settled under ET alone; the protocol
 	// never takes the slot, so the dwell there is 0 by definition.

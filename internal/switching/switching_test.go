@@ -1,6 +1,8 @@
 package switching
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -188,6 +190,107 @@ func TestDwellMonotoneWithThreshold(t *testing.T) {
 	if c2.XiET > c1.XiET || c2.XiTT > c1.XiTT {
 		t.Fatalf("looser threshold must not slow settling: (%g,%g) vs (%g,%g)",
 			c2.XiTT, c2.XiET, c1.XiTT, c1.XiET)
+	}
+}
+
+// The sharded sampler must be byte-identical to the sequential path: every
+// kwait's simulation performs the same float arithmetic regardless of which
+// worker runs it, so even the bit patterns agree.
+func TestSampleCurveWithWorkersIsByteIdentical(t *testing.T) {
+	for _, sys := range []*System{nonNormalSystem(), diagonalSystem()} {
+		seq, err := sys.SampleCurve(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 2, 4, 16} {
+			got, err := sys.SampleCurveWith(SampleCurveOptions{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", sys.Name, workers, err)
+			}
+			if got.XiTT != seq.XiTT || got.XiET != seq.XiET || got.H != seq.H {
+				t.Fatalf("%s workers=%d: header (%g,%g,%g) != sequential (%g,%g,%g)",
+					sys.Name, workers, got.XiTT, got.XiET, got.H, seq.XiTT, seq.XiET, seq.H)
+			}
+			if len(got.Samples) != len(seq.Samples) {
+				t.Fatalf("%s workers=%d: %d samples, want %d", sys.Name, workers, len(got.Samples), len(seq.Samples))
+			}
+			for i := range seq.Samples {
+				if got.Samples[i] != seq.Samples[i] {
+					t.Fatalf("%s workers=%d: sample %d = %+v, sequential %+v",
+						sys.Name, workers, i, got.Samples[i], seq.Samples[i])
+				}
+			}
+		}
+	}
+}
+
+// Regression: a user-constructed system that starts below its threshold
+// (kET = 0 — core's Application.Validate forbids this, switching's does
+// not) must yield the single kwait = 0 endpoint like the sequential
+// sampler always did, not panic in the prepass.
+func TestSampleCurveAlreadySettled(t *testing.T) {
+	s := nonNormalSystem()
+	s.X0 = []float64{0.01, 0.01} // ‖x0‖ < Eth = 0.1
+	for _, workers := range []int{1, 4} {
+		c, err := s.SampleCurveWith(SampleCurveOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(c.Samples) != 1 || c.Samples[0] != (pwl.Point{}) {
+			t.Fatalf("workers=%d: samples = %+v, want the single zero endpoint", workers, c.Samples)
+		}
+		if c.XiET != 0 || c.XiTT != 0 {
+			t.Fatalf("workers=%d: ξTT=%g ξET=%g, want 0", workers, c.XiTT, c.XiET)
+		}
+	}
+}
+
+// A cancelled context aborts the sampling with ctx.Err() instead of
+// finishing the exhaustive simulation.
+func TestSampleCurveWithCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := nonNormalSystem().SampleCurveWith(SampleCurveOptions{Workers: 4, Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// Settling simulations must not allocate per step: the scratch buffers are
+// the only allocations, so the count is a small constant independent of
+// kwait and the horizon.
+func TestDwellStepsAllocationIsHorizonIndependent(t *testing.T) {
+	s := nonNormalSystem()
+	measure := func(kwait, horizon int) float64 {
+		return testing.AllocsPerRun(20, func() {
+			if _, ok := s.DwellSteps(kwait, horizon); !ok {
+				t.Fatal("did not settle")
+			}
+		})
+	}
+	small := measure(1, 500)
+	big := measure(120, 20000)
+	if small > 4 || big > 4 {
+		t.Fatalf("DwellSteps allocates %g (small) / %g (big) times, want ≤ 4 (scratch only)", small, big)
+	}
+	if big > small {
+		t.Fatalf("allocations grow with the walk: %g → %g", small, big)
+	}
+	et := testing.AllocsPerRun(20, func() { s.ResponseStepsET(20000) })
+	if et > 4 {
+		t.Fatalf("ResponseStepsET allocates %g times, want ≤ 4", et)
+	}
+}
+
+// The process-wide step counter advances with simulation work — the
+// observable the service cancellation tests rely on.
+func TestSimStepsCounterAdvances(t *testing.T) {
+	before := SimSteps()
+	if _, err := nonNormalSystem().SampleCurve(0); err != nil {
+		t.Fatal(err)
+	}
+	if after := SimSteps(); after <= before {
+		t.Fatalf("SimSteps did not advance: %d → %d", before, after)
 	}
 }
 
