@@ -9,6 +9,14 @@
 //	POST /v1/derive    batch fleet derivation (service.DeriveRequest):
 //	                   plants + timing in, Table-I-style rows and fitted
 //	                   §III models out
+//	POST /v1/derive/stream
+//	                   the same derivation as NDJSON: one DeriveAppSpec per
+//	                   request line, one result row flushed per derivation,
+//	                   emitted in input order while later lines are still
+//	                   being read — memory stays O(workers + window) no
+//	                   matter how large the fleet. Malformed lines become
+//	                   per-row error rows; ?workers=N bounds the per-stream
+//	                   pool below the -workers ceiling
 //	POST /v1/calibrate measured-mode workflow: plants + response-time
 //	                   targets in, calibrated pole-placement designs plus
 //	                   the same derive rows out
@@ -33,7 +41,7 @@
 //
 // Usage: cpsdynd [-addr :8700] [-cache-entries 1024] [-cache-bytes N]
 // [-max-inflight N] [-timeout 60s] [-workers N] [-curve-workers N]
-// [-complete-background]
+// [-stream-window N] [-complete-background]
 package main
 
 import (
@@ -61,6 +69,7 @@ func main() {
 		timeout      = flag.Duration("timeout", 60*time.Second, "per-request compute budget")
 		workers      = flag.Int("workers", 0, "per-request derivation/allocation workers (0 = GOMAXPROCS)")
 		curveWorkers = flag.Int("curve-workers", 0, "dwell-curve sampling fan-out on cache misses (0 = GOMAXPROCS, 1 = sequential)")
+		streamWindow = flag.Int("stream-window", 0, "per-stream NDJSON reorder window: rows derived out of order awaiting in-order emission (0 = 2×workers)")
 		background   = flag.Bool("complete-background", false, "let timed-out/disconnected computations finish detached (warming the cache) instead of cancelling them")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	)
@@ -77,6 +86,7 @@ func main() {
 		Timeout:              *timeout,
 		Workers:              *workers,
 		CompleteInBackground: *background,
+		StreamWindow:         *streamWindow,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

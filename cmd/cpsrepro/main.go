@@ -14,11 +14,21 @@
 //	cpsrepro random             ablation: random synthetic workloads
 //	cpsrepro methods            ablation: closed form vs fixed point
 //	cpsrepro race               policy race: best allocation across heuristics
+//	cpsrepro derive [-stream] f derive your own fleet from a JSON file or "-"
+//	                            (stdin); with -stream, NDJSON in/out through
+//	                            the cpsdynd streaming codec
 //	cpsrepro all                everything except the CSV dumps
 //
 // Every command accepts -workers N to bound the dwell-curve sampling
 // fan-out on derivation-cache misses (0, the default, uses every core;
 // 1 forces the sequential sampler).
+//
+// The derive command is the offline twin of cpsdynd's derive endpoints: the
+// buffered form reads one service.DeriveRequest JSON document and prints a
+// Table-I-style table; the -stream form reads one DeriveAppSpec per NDJSON
+// line and emits one result row per line as each derivation completes, in
+// input order, with O(workers) buffering — malformed lines become error
+// rows instead of aborting the stream.
 //
 // The measured-mode commands (table1, fig5) share one calibrated fleet per
 // process: the six controller calibrations run concurrently (each search
@@ -28,14 +38,18 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"cpsdyn/internal/casestudy"
 	"cpsdyn/internal/core"
 	"cpsdyn/internal/pwl"
 	"cpsdyn/internal/sched"
+	"cpsdyn/internal/service"
 	"cpsdyn/internal/textplot"
 )
 
@@ -48,11 +62,14 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	csv := fs.Bool("csv", false, "emit CSV instead of an ASCII plot")
 	workers := fs.Int("workers", 0, "dwell-curve sampling fan-out on cache misses (0 = GOMAXPROCS, 1 = sequential)")
+	stream := fs.Bool("stream", false, "derive: NDJSON mode (one app per input line, one row per output line)")
 	_ = fs.Parse(os.Args[2:])
 	core.SetCurveSamplingWorkers(*workers)
 
 	var err error
 	switch cmd {
+	case "derive":
+		err = runDerive(fs.Args(), *stream, *workers)
 	case "walkthrough":
 		err = runWalkthrough()
 	case "casestudy":
@@ -99,9 +116,65 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: cpsrepro <command> [-csv]
+	fmt.Fprintln(os.Stderr, `usage: cpsrepro <command> [-csv] [-workers N]
+       cpsrepro derive [-stream] [-workers N] fleet.json|-
 
-commands: walkthrough casestudy table1 fig3 fig4 fig5 sweep-kp segments random methods race all`)
+commands: walkthrough casestudy table1 fig3 fig4 fig5 sweep-kp segments random methods race derive all`)
+}
+
+// runDerive derives a user-supplied fleet offline through the service codec:
+// buffered (one DeriveRequest document → a Table-I-style table) or streamed
+// (-stream: DeriveAppSpec NDJSON lines → result rows in input order, flushed
+// as each derivation completes).
+func runDerive(args []string, stream bool, workers int) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: cpsrepro derive [-stream] [-workers N] fleet.json|-")
+	}
+	var r io.Reader
+	if args[0] == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	if stream {
+		stats, err := service.DeriveStream(context.Background(), r, os.Stdout,
+			service.StreamOptions{Workers: workers})
+		if err != nil {
+			return fmt.Errorf("after %d rows: %w", stats.RowsOut, err)
+		}
+		return nil
+	}
+	var req service.DeriveRequest
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return fmt.Errorf("parsing input: %w", err)
+	}
+	if req.Workers == 0 {
+		req.Workers = workers
+	}
+	resp, err := service.Derive(context.Background(), &req)
+	if err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(resp.Apps))
+	for _, a := range resp.Apps {
+		rows = append(rows, []string{
+			a.Name,
+			fmt.Sprintf("%.3f", a.XiTT),
+			fmt.Sprintf("%.3f", a.XiET),
+			fmt.Sprintf("%.3f", a.XiM),
+			fmt.Sprintf("%.3f", a.Kp),
+			fmt.Sprintf("%.3f", a.XiPrimeM),
+			fmt.Sprintf("%v", a.NonMonotonic),
+		})
+	}
+	return textplot.Table(os.Stdout, []string{"app", "ξTT", "ξET", "ξM", "kp", "ξ′M", "non-mono"}, rows)
 }
 
 func runWalkthrough() error {

@@ -40,10 +40,19 @@
 // carries an "error" field and the exit status is 1 after all fleets are
 // reported.
 //
-// Usage: slotalloc [-json] fleet.json   (or "-" for stdin)
+// With -stream the input is NDJSON instead — one fleet request per line —
+// and results are emitted as NDJSON rows ({"index": N, "fleet": {...}}) the
+// moment each allocation completes, in input order, so arbitrarily long
+// fleet lists stream through O(workers) memory. A malformed line becomes an
+// error row ({"index": N, "error": "..."}) and never aborts the stream. The
+// codec is exactly the cpsdynd streaming codec, so rows pipe between the
+// two tools.
+//
+// Usage: slotalloc [-json] [-stream] fleet.json   (or "-" for stdin)
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -65,9 +74,10 @@ type batchOutput struct {
 func main() {
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON")
 	workers := flag.Int("workers", 0, "batch allocation worker pool (0 = GOMAXPROCS)")
+	stream := flag.Bool("stream", false, "NDJSON mode: one fleet request per input line, one result row per output line")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: slotalloc [-json] [-workers N] fleet.json")
+		fmt.Fprintln(os.Stderr, "usage: slotalloc [-json] [-stream] [-workers N] fleet.json")
 		os.Exit(2)
 	}
 	var r io.Reader
@@ -80,6 +90,9 @@ func main() {
 		}
 		defer f.Close()
 		r = f
+	}
+	if *stream {
+		os.Exit(runStream(r, os.Stdout, *workers))
 	}
 	out, err := run(r, *workers)
 	if err != nil {
@@ -108,6 +121,38 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "slotalloc:", err)
 	os.Exit(1)
+}
+
+// runStream allocates NDJSON fleet lines through the shared streaming codec
+// and reports the exit status: 1 when any row carried an error (malformed
+// line or infeasible fleet), matching the batch mode's convention.
+func runStream(r io.Reader, w io.Writer, workers int) int {
+	status := 0
+	_, err := service.AllocateStream(context.Background(), r,
+		statusWriter{w: w, status: &status},
+		service.StreamOptions{Workers: workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slotalloc:", err)
+		return 1
+	}
+	return status
+}
+
+// statusWriter watches the emitted rows for in-band errors so runStream can
+// exit non-zero without buffering the stream.
+type statusWriter struct {
+	w      io.Writer
+	status *int
+}
+
+func (sw statusWriter) Write(p []byte) (int, error) {
+	var row service.FleetStreamRow
+	if err := json.Unmarshal(p, &row); err == nil {
+		if row.Error != "" || (row.Fleet != nil && row.Fleet.Error != "") {
+			*sw.status = 1
+		}
+	}
+	return sw.w.Write(p)
 }
 
 // run parses one fleet or a batch, allocates concurrently across workers

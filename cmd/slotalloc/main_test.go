@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"testing"
@@ -174,6 +176,62 @@ func TestRenderTable(t *testing.T) {
 	if strings.Contains(s, "fleet ") {
 		t.Fatalf("single-fleet render must not print fleet headers:\n%s", s)
 	}
+}
+
+// -stream mode: one fleet per NDJSON line in, one result row per line out,
+// in input order; a malformed line and an infeasible fleet each flip the
+// exit status to 1 without stopping the stream.
+func TestRunStream(t *testing.T) {
+	compact := func(s string) string {
+		var c bytes.Buffer
+		if err := json.Compact(&c, []byte(s)); err != nil {
+			t.Fatal(err)
+		}
+		return c.String()
+	}
+	t.Run("healthy", func(t *testing.T) {
+		in := compact(tableIJSON) + "\n" +
+			compact(strings.ReplaceAll(tableIJSON, `"kind":"non-monotonic"`, `"kind":"conservative"`)) + "\n"
+		var out bytes.Buffer
+		if status := runStream(strings.NewReader(in), &out, 2); status != 0 {
+			t.Fatalf("status = %d, want 0\n%s", status, out.String())
+		}
+		var rows []service.FleetStreamRow
+		sc := bufio.NewScanner(&out)
+		for sc.Scan() {
+			var row service.FleetStreamRow
+			if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+				t.Fatalf("bad row %q: %v", sc.Text(), err)
+			}
+			rows = append(rows, row)
+		}
+		if len(rows) != 2 {
+			t.Fatalf("%d rows, want 2", len(rows))
+		}
+		for want, slots := range map[int]int{0: 3, 1: 5} {
+			row := rows[want]
+			if row.Index != want || row.Fleet == nil || row.Fleet.Slots != slots || row.Error != "" {
+				t.Fatalf("row %d = %+v, want %d slots", want, row, slots)
+			}
+		}
+	})
+	t.Run("errors set exit status", func(t *testing.T) {
+		in := "{broken\n" + compact(tableIJSON) + "\n"
+		var out bytes.Buffer
+		if status := runStream(strings.NewReader(in), &out, 0); status != 1 {
+			t.Fatalf("status = %d, want 1 (malformed line)\n%s", status, out.String())
+		}
+		if !strings.Contains(out.String(), `"error"`) || !strings.Contains(out.String(), `"slots":3`) {
+			t.Fatalf("stream output lost the healthy row:\n%s", out.String())
+		}
+	})
+	t.Run("infeasible fleet sets exit status", func(t *testing.T) {
+		in := `{"name":"doomed","apps":[{"name":"a","r":10,"deadline":0.1,"model":{"kind":"non-monotonic","xiTT":1,"kp":2,"xiM":3,"xiET":5}}]}` + "\n"
+		var out bytes.Buffer
+		if status := runStream(strings.NewReader(in), &out, 0); status != 1 {
+			t.Fatalf("status = %d, want 1 (infeasible fleet)\n%s", status, out.String())
+		}
+	})
 }
 
 func TestParseDefaults(t *testing.T) {

@@ -68,4 +68,24 @@
 // whose compute budget expires or whose client disconnects is cancelled —
 // it stops consuming CPU promptly — unless the service opts into detached
 // background completion (service.Config.CompleteInBackground).
+//
+// # Streaming derivation (NDJSON)
+//
+// Thousand-app fleets should not ride in one JSON body. POST
+// /v1/derive/stream accepts NDJSON — one service.DeriveAppSpec per request
+// line — and answers with NDJSON result rows ({"index", "result"} or
+// {"index", "error"}) flushed as each derivation completes, emitted in
+// input order while later request lines are still being read, so result
+// buffering stays O(workers + window) instead of O(batch) — the only
+// per-row retention is the duplicate-name set (app names, not rows). The pieces are
+// reusable: service.DecodeLines / service.DecodeRequests iterate request
+// lines (malformed lines become typed error rows — *service.RequestError —
+// never stream aborts), service.EncodeResult writes rows, and
+// conc.StreamOrdered is the bounded pipeline stage that derives out of
+// order while emitting in order under a backpressure window. The same codec
+// drives the CLIs offline: slotalloc -stream allocates one fleet per NDJSON
+// line and cpsrepro derive -stream derives one app per line. Streamed
+// output, sorted by index, is byte-identical to the buffered endpoint's
+// rows for the same batch at any worker count; /statsz and /metrics expose
+// streams, rowsIn, rowsOut and streamCancelled counters.
 package cpsdyn

@@ -4,6 +4,7 @@ package conc
 
 import (
 	"context"
+	"iter"
 	"runtime"
 	"sync"
 )
@@ -92,4 +93,117 @@ feed:
 		}
 	}
 	return nil
+}
+
+// StreamOrdered is the bounded streaming pipeline stage: it pulls items from
+// src one at a time, applies fn to each across a bounded worker pool, and
+// calls emit with the results strictly in input order even though fn runs
+// out of order. It is the plumbing for NDJSON request/response streams,
+// where the first result must reach the client while later inputs are still
+// being read.
+//
+// Backpressure: at most window items are past src and not yet emitted
+// (computing or waiting for an earlier item), so memory stays
+// O(workers + window) no matter how long the stream is — src is simply not
+// advanced while the window is full. workers ≤ 0 selects GOMAXPROCS;
+// window < workers is raised to workers (a smaller window would idle the
+// pool).
+//
+// Per-item failures are fn's business: fn returns a result value, so a
+// caller that wants error rows embeds the error in R. Only two things stop
+// the stream early: ctx expiring (StreamOrdered returns ctx.Err(); in-flight
+// fn calls are expected to honour ctx and return promptly) and emit
+// returning a non-nil error (returned as-is; no further items are read or
+// emitted). fn receives the item's 0-based stream index and the ctx it must
+// honour. emit is called from the calling goroutine only.
+//
+// StreamOrdered does not return until src and every fn call have gone
+// quiescent — nothing touches the source after it returns. The flip side: a
+// src blocked in an uninterruptible read (a network body, say) delays that
+// return, so a caller cancelling the stream must also arrange for the
+// blocked read to fail (a read deadline, closing the underlying reader).
+func StreamOrdered[T, R any](ctx context.Context, workers, window int, src iter.Seq[T], fn func(ctx context.Context, i int, item T) R, emit func(i int, r R) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if window < workers {
+		window = workers
+	}
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Every item travels in a cell: the feeder queues cells on an ordered
+	// channel (capacity = window, the backpressure bound) and hands them to
+	// the worker pool; the emitter walks the ordered channel and waits for
+	// each cell's result, which restores input order without unbounded
+	// buffering. done has capacity 1 so a worker never blocks delivering a
+	// result whose reader already gave up.
+	type cell struct {
+		i    int
+		item T
+		done chan R
+	}
+	cells := make(chan *cell, window)
+	work := make(chan *cell)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				c.done <- fn(ctx, c.i, c.item)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(cells)
+		defer close(work)
+		i := 0
+		for item := range src {
+			c := &cell{i: i, item: item, done: make(chan R, 1)}
+			select {
+			case cells <- c: // blocks while the window is full: backpressure
+			case <-ctx.Done():
+				return
+			}
+			select {
+			case work <- c:
+			case <-ctx.Done():
+				// The cell is queued for emission but will never be
+				// computed; the emitter unblocks via ctx.Done instead.
+				return
+			}
+			i++
+		}
+	}()
+
+	var err error
+	for c := range cells {
+		var r R
+		select {
+		case r = <-c.done:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+		if err != nil {
+			break
+		}
+		if err = emit(c.i, r); err != nil {
+			break
+		}
+	}
+	cancel() // unblock the feeder so close(work) lets the pool drain
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	// The derived ctx is cancelled above on every exit path; only the
+	// caller's context says whether the stream itself was cut short.
+	return parent.Err()
 }

@@ -4,10 +4,26 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"iter"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
+
+// ints yields 0..n-1, counting how far the source was advanced.
+func ints(n int, read *atomic.Int64) iter.Seq[int] {
+	return func(yield func(int) bool) {
+		for i := 0; i < n; i++ {
+			if read != nil {
+				read.Add(1)
+			}
+			if !yield(i) {
+				return
+			}
+		}
+	}
+}
 
 func TestForEachVisitsEveryIndexOnce(t *testing.T) {
 	for _, workers := range []int{0, 1, 3, 64} {
@@ -128,6 +144,133 @@ func TestForEachWorkerCtxWorkerIndexes(t *testing.T) {
 	}
 	if total != n {
 		t.Fatalf("per-worker counts sum to %d, want %d", total, n)
+	}
+}
+
+// Results arrive strictly in input order for any worker count, even though
+// the pool computes them out of order.
+func TestStreamOrderedEmitsInOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		const n = 200
+		var got []int
+		err := StreamOrdered(context.Background(), workers, 0, ints(n, nil),
+			func(_ context.Context, i, item int) int {
+				if i != item {
+					t.Errorf("fn index %d for item %d", i, item)
+				}
+				// Earlier items sleeping longer maximises reordering pressure.
+				if item < 10 {
+					time.Sleep(time.Duration(10-item) * time.Millisecond)
+				}
+				return item * item
+			},
+			func(i, r int) error {
+				got = append(got, r)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: emitted %d results, want %d", workers, len(got), n)
+		}
+		for i, r := range got {
+			if r != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d (order broken)", workers, i, r, i*i)
+			}
+		}
+	}
+}
+
+// The window bounds how far the source runs ahead of emission — the
+// backpressure that keeps stream memory O(workers + window).
+func TestStreamOrderedBoundsReadAhead(t *testing.T) {
+	const n, workers, window = 500, 2, 4
+	var read, emitted, peak atomic.Int64
+	err := StreamOrdered(context.Background(), workers, window, ints(n, &read),
+		func(_ context.Context, _, item int) int {
+			for {
+				ahead := read.Load() - emitted.Load()
+				p := peak.Load()
+				if ahead <= p || peak.CompareAndSwap(p, ahead) {
+					break
+				}
+			}
+			return item
+		},
+		func(_, r int) error {
+			emitted.Add(1)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ordered queue holds at most window cells and the feeder may hold
+	// one more it is about to queue.
+	if p := peak.Load(); p > window+2 {
+		t.Fatalf("source ran %d items ahead of emission, want ≤ %d", p, window+2)
+	}
+}
+
+// An emit failure (the client hung up mid-stream) stops the pipeline: the
+// error comes back and the source is not drained.
+func TestStreamOrderedEmitErrorStops(t *testing.T) {
+	const n = 100000
+	var read atomic.Int64
+	boom := errors.New("broken pipe")
+	err := StreamOrdered(context.Background(), 2, 4, ints(n, &read),
+		func(_ context.Context, _, item int) int { return item },
+		func(i, _ int) error {
+			if i == 10 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the emit error", err)
+	}
+	if r := read.Load(); r == n {
+		t.Fatal("emit error did not stop the source")
+	}
+}
+
+// Cancellation mid-stream surfaces ctx.Err() and stops reading the source.
+func TestStreamOrderedCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 100000
+	var read atomic.Int64
+	err := StreamOrdered(ctx, 2, 4, ints(n, &read),
+		func(ctx context.Context, _, item int) int { return item },
+		func(i, _ int) error {
+			if i == 5 {
+				cancel()
+			}
+			return nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if r := read.Load(); r == n {
+		t.Fatal("cancellation did not stop the source")
+	}
+}
+
+// A successful run over an already-cancelled context still reports the
+// cancellation; an empty source is fine either way.
+func TestStreamOrderedEdgeCases(t *testing.T) {
+	if err := StreamOrdered(context.Background(), 4, 0, ints(0, nil),
+		func(_ context.Context, _, item int) int { return item },
+		func(int, int) error { t.Fatal("emit called for empty source"); return nil },
+	); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := StreamOrdered(ctx, 4, 0, ints(10, nil),
+		func(_ context.Context, _, item int) int { return item },
+		func(int, int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

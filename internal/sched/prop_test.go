@@ -155,6 +155,95 @@ func TestPropFixedPointWithinClosedForm(t *testing.T) {
 	}
 }
 
+// Property: AllocateRace never uses more slots than the best individual
+// policy — racing can only pick an existing allocation, so it must match
+// the feasible minimum over its contenders — and it fails only when every
+// contender fails.
+func TestPropRaceNeverWorseThanBestPolicy(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		apps := randomFleet(r, 2+r.Intn(6))
+		best := -1
+		for _, policy := range DefaultRacePolicies {
+			al, err := Allocate(apps, policy, ClosedForm)
+			if err != nil {
+				continue
+			}
+			if best < 0 || al.NumSlots() < best {
+				best = al.NumSlots()
+			}
+		}
+		raced, err := AllocateRace(apps, nil, ClosedForm)
+		if best < 0 {
+			return err != nil // all contenders failed ⇒ the race must too
+		}
+		if err != nil {
+			return false // some contender succeeded ⇒ the race must too
+		}
+		return raced.NumSlots() <= best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every allocation respects slot capacity — each app is placed
+// exactly once, every slot's group is schedulable as allocated (Verify),
+// and no slot is over-utilised: on every slot the interference utilisation
+// seen by its lowest-priority app (Σ ξM_j / r_j over the others) stays
+// below 1, the paper's condition for a finite wait-time bound. (The full
+// sum including the lowest-priority app itself may exceed 1 — a lone app
+// with a tall dwell peak is still fine, nobody waits on it.)
+func TestPropAllocationRespectsSlotCapacity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		apps := randomFleet(r, 2+r.Intn(6))
+		allocate := func(policy Policy, race bool) (*Allocation, error) {
+			if race {
+				return AllocateRace(apps, nil, ClosedForm)
+			}
+			return Allocate(apps, policy, ClosedForm)
+		}
+		for _, c := range []struct {
+			policy Policy
+			race   bool
+		}{{FirstFit, false}, {Sequential, false}, {BestFit, false}, {0, true}} {
+			al, err := allocate(c.policy, c.race)
+			if err != nil {
+				continue // random fleets may be infeasible under any policy
+			}
+			if err := al.Verify(); err != nil {
+				return false
+			}
+			placed := make(map[string]int)
+			for _, group := range al.Slots {
+				if len(group) == 0 {
+					return false // an empty slot is a wasted slot
+				}
+				sorted := SortByPriority(group)
+				if u := SlotUtilization(sorted[:len(sorted)-1]); u >= 1 {
+					return false
+				}
+				for _, a := range group {
+					placed[a.Name]++
+				}
+			}
+			if len(placed) != len(apps) {
+				return false
+			}
+			for _, n := range placed {
+				if n != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: a slot's utilisation bound — if AnalyzeSlot says everything is
 // schedulable, the worst-case slot utilisation of the interferers of the
 // lowest-priority app is below 1.

@@ -59,7 +59,7 @@ type AllocateRequest struct {
 func (r *AllocateRequest) FleetRequests() ([]FleetRequest, bool, error) {
 	if len(r.Fleets) > 0 {
 		if len(r.Apps) > 0 || r.Policy != "" || r.Method != "" || r.Name != "" {
-			return nil, false, errors.New("request mixes top-level fleet fields with a fleets array; give each fleet its own policy/method instead")
+			return nil, false, &RequestError{Err: errors.New("request mixes top-level fleet fields with a fleets array; give each fleet its own policy/method instead")}
 		}
 		return r.Fleets, false, nil
 	}
@@ -140,30 +140,41 @@ func BuildModel(m ModelSpec) (model *pwl.Model, unsafe bool, err error) {
 	}
 }
 
-// spec compiles one fleet request into a sched.BatchSpec.
+// spec compiles one fleet request into a sched.BatchSpec. Every failure is
+// a *RequestError — a malformed request, as opposed to an infeasible fleet.
 func (fr *FleetRequest) spec() (sched.BatchSpec, bool, error) {
+	fail := func(err error) (sched.BatchSpec, bool, error) {
+		return sched.BatchSpec{}, false, &RequestError{Err: err}
+	}
 	if len(fr.Apps) == 0 {
-		return sched.BatchSpec{}, false, errors.New("no apps in fleet")
+		return fail(errors.New("no apps in fleet"))
 	}
 	policy, race, err := ParsePolicy(fr.Policy)
 	if err != nil {
-		return sched.BatchSpec{}, false, err
+		return fail(err)
 	}
 	method, err := ParseMethod(fr.Method)
 	if err != nil {
-		return sched.BatchSpec{}, false, err
+		return fail(err)
 	}
 	seen := make(map[string]bool, len(fr.Apps))
 	apps := make([]*sched.App, 0, len(fr.Apps))
 	unsafe := false
 	for _, ia := range fr.Apps {
 		if seen[ia.Name] {
-			return sched.BatchSpec{}, false, fmt.Errorf("duplicate app name %q", ia.Name)
+			return fail(fmt.Errorf("duplicate app name %q", ia.Name))
 		}
 		seen[ia.Name] = true
+		if err := finiteScalars(map[string]float64{
+			"r": ia.R, "deadline": ia.Deadline,
+			"model.xiTT": ia.Model.XiTT, "model.kp": ia.Model.Kp,
+			"model.xiM": ia.Model.XiM, "model.xiET": ia.Model.XiET,
+		}, nil); err != nil {
+			return fail(fmt.Errorf("app %q: %w", ia.Name, err))
+		}
 		m, isUnsafe, err := BuildModel(ia.Model)
 		if err != nil {
-			return sched.BatchSpec{}, false, fmt.Errorf("app %q: %w", ia.Name, err)
+			return fail(fmt.Errorf("app %q: %w", ia.Name, err))
 		}
 		unsafe = unsafe || isUnsafe
 		apps = append(apps, &sched.App{Name: ia.Name, R: ia.R, Deadline: ia.Deadline, Model: m})

@@ -66,8 +66,14 @@ type CalibrateResponse struct {
 // unset poles (Calibrate fills them); i is the app's position, used for the
 // default frame ID.
 func (s *CalibrateAppSpec) application(i int) (*core.Application, error) {
-	if s.TargetXiTT <= 0 || s.TargetXiET <= s.TargetXiTT {
-		return nil, fmt.Errorf("need 0 < targetXiTT (%g) < targetXiET (%g)", s.TargetXiTT, s.TargetXiET)
+	if !isFinite(s.TargetXiTT) || !isFinite(s.TargetXiET) ||
+		s.TargetXiTT <= 0 || s.TargetXiET <= s.TargetXiTT {
+		return nil, &RequestError{App: s.Name,
+			Err: fmt.Errorf("need 0 < targetXiTT (%g) < targetXiET (%g)", s.TargetXiTT, s.TargetXiET)}
+	}
+	if !isFinite(s.EtOmega) {
+		return nil, &RequestError{App: s.Name,
+			Err: fmt.Errorf("field etOmega = %g is not finite", s.EtOmega)}
 	}
 	d := DeriveAppSpec{
 		Name:     s.Name,
@@ -103,9 +109,11 @@ func Calibrate(ctx context.Context, req *CalibrateRequest) (*CalibrateResponse, 
 	}
 	apps := make([]*core.Application, len(req.Apps))
 	for i := range req.Apps {
+		// application() failures are *RequestErrors that already name the
+		// offending app.
 		a, err := req.Apps[i].application(i)
 		if err != nil {
-			return nil, fmt.Errorf("app %q: %w", req.Apps[i].Name, err)
+			return nil, err
 		}
 		apps[i] = a
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"cpsdyn/internal/core"
 	"cpsdyn/internal/lti"
@@ -69,8 +70,11 @@ type DeriveResponse struct {
 	Cache core.CacheStats `json:"cache"`
 }
 
-// matrix validates rectangularity before mat.FromRows, which panics on
-// ragged input — a malformed request must surface as an error instead.
+// matrix validates rectangularity and finiteness before mat.FromRows, which
+// panics on ragged input — a malformed request must surface as an error
+// instead, and NaN/±Inf entries would otherwise wander into the matrix
+// exponentials and settling simulations (JSON cannot spell them, but the
+// Go-level codec callers can).
 func matrix(field string, rows [][]float64) (*mat.Matrix, error) {
 	if len(rows) == 0 {
 		return nil, nil
@@ -80,8 +84,32 @@ func matrix(field string, rows [][]float64) (*mat.Matrix, error) {
 		if len(r) != want {
 			return nil, fmt.Errorf("matrix %s: row %d has %d entries, want %d", field, i, len(r), want)
 		}
+		for j, v := range r {
+			if !isFinite(v) {
+				return nil, fmt.Errorf("matrix %s: entry (%d,%d) = %g is not finite", field, i, j, v)
+			}
+		}
 	}
 	return mat.FromRows(rows), nil
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// finiteScalars rejects NaN/±Inf in the spec's scalar and vector fields.
+func finiteScalars(fields map[string]float64, vecs map[string][]float64) error {
+	for name, v := range fields {
+		if !isFinite(v) {
+			return fmt.Errorf("field %s = %g is not finite", name, v)
+		}
+	}
+	for name, vec := range vecs {
+		for i, v := range vec {
+			if !isFinite(v) {
+				return fmt.Errorf("field %s[%d] = %g is not finite", name, i, v)
+			}
+		}
+	}
+	return nil
 }
 
 func realPoles(ps []float64) []complex128 {
@@ -96,19 +124,30 @@ func realPoles(ps []float64) []complex128 {
 }
 
 // application compiles the spec into a core.Application; i is the app's
-// position, used for the default frame ID.
+// position, used for the default frame ID. Every failure is a *RequestError.
 func (s *DeriveAppSpec) application(i int) (*core.Application, error) {
+	fail := func(err error) (*core.Application, error) {
+		return nil, &RequestError{App: s.Name, Err: err}
+	}
 	a, err := matrix("a", s.Plant.A)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	b, err := matrix("b", s.Plant.B)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	c, err := matrix("c", s.Plant.C)
 	if err != nil {
-		return nil, err
+		return fail(err)
+	}
+	if err := finiteScalars(map[string]float64{
+		"h": s.H, "delayTT": s.DelayTT, "delayET": s.DelayET,
+		"eth": s.Eth, "r": s.R, "deadline": s.Deadline,
+	}, map[string][]float64{
+		"x0": s.X0, "polesTT": s.PolesTT, "polesET": s.PolesET,
+	}); err != nil {
+		return fail(err)
 	}
 	plantName := s.Plant.Name
 	if plantName == "" {
@@ -134,21 +173,40 @@ func (s *DeriveAppSpec) application(i int) (*core.Application, error) {
 	}, nil
 }
 
+// applications compiles every spec of the request. It rejects duplicate app
+// names — like the allocate path always has — because a batch answering two
+// different rows under one name is ambiguous downstream (allocation keys
+// results by name). Every failure is a *RequestError.
+func (req *DeriveRequest) applications() ([]*core.Application, error) {
+	if len(req.Apps) == 0 {
+		return nil, &RequestError{Err: errors.New("no apps in request")}
+	}
+	apps := make([]*core.Application, len(req.Apps))
+	seen := make(map[string]bool, len(req.Apps))
+	for i := range req.Apps {
+		name := req.Apps[i].Name
+		if seen[name] {
+			return nil, &RequestError{App: name,
+				Err: fmt.Errorf("duplicate app name %q", name)}
+		}
+		seen[name] = true
+		a, err := req.Apps[i].application(i)
+		if err != nil {
+			return nil, err
+		}
+		apps[i] = a
+	}
+	return apps, nil
+}
+
 // Derive compiles the request into a fleet, derives it through
 // core.DeriveFleet (bounded worker pool, shared memo cache) and reports one
 // timing row per app in input order. A ctx expiry aborts the in-flight
 // matrix work promptly.
 func Derive(ctx context.Context, req *DeriveRequest) (*DeriveResponse, error) {
-	if len(req.Apps) == 0 {
-		return nil, errors.New("no apps in request")
-	}
-	apps := make([]*core.Application, len(req.Apps))
-	for i := range req.Apps {
-		a, err := req.Apps[i].application(i)
-		if err != nil {
-			return nil, fmt.Errorf("app %q: %w", req.Apps[i].Name, err)
-		}
-		apps[i] = a
+	apps, err := req.applications()
+	if err != nil {
+		return nil, err
 	}
 	fleet, err := core.DeriveFleet(ctx, apps, core.FleetOptions{Workers: req.Workers})
 	if err != nil {

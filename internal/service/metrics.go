@@ -41,6 +41,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"Requests currently computing.", float64(srv.InFlight))
 	metric("cpsdynd_max_in_flight", "gauge",
 		"The in-flight concurrency bound.", float64(srv.MaxInFlight))
+	metric("cpsdynd_streams_total", "counter",
+		"NDJSON derive streams completed (including cancelled ones).", float64(srv.Streams))
+	metric("cpsdynd_stream_rows_in_total", "counter",
+		"NDJSON request rows consumed across all streams.", float64(srv.RowsIn))
+	metric("cpsdynd_stream_rows_out_total", "counter",
+		"NDJSON result rows written across all streams.", float64(srv.RowsOut))
+	metric("cpsdynd_stream_cancelled_total", "counter",
+		"Streams cut short by budget expiry, disconnect or write failure.", float64(srv.StreamCancelled))
 	metric("cpsdynd_sim_steps_total", "counter",
 		"Cumulative closed-loop simulation steps across all derivations.", float64(switching.SimSteps()))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync/atomic"
@@ -35,6 +36,11 @@ type Config struct {
 	// The default is to cancel it — an abandoned request stops consuming
 	// CPU the moment nobody is waiting for its answer.
 	CompleteInBackground bool
+	// StreamWindow bounds the per-stream reorder buffer of
+	// POST /v1/derive/stream: how many rows may be derived out of order
+	// before in-order emission, the peak response-side buffering no matter
+	// how long the stream is. ≤ 0 selects 2 × the stream's worker count.
+	StreamWindow int
 }
 
 func (c Config) withDefaults() Config {
@@ -59,6 +65,11 @@ type ServerStats struct {
 	Cancelled   uint64 `json:"cancelled"`   // computations aborted by cancellation
 	InFlight    int64  `json:"inFlight"`    // currently computing
 	MaxInFlight int    `json:"maxInFlight"` // the semaphore bound
+
+	Streams         uint64 `json:"streams"`         // /v1/derive/stream requests completed
+	RowsIn          uint64 `json:"rowsIn"`          // stream request rows consumed
+	RowsOut         uint64 `json:"rowsOut"`         // stream result rows written
+	StreamCancelled uint64 `json:"streamCancelled"` // streams cut short by budget/disconnect
 }
 
 // Server is the cpsdynd HTTP handler: batch derivation, calibration and
@@ -78,6 +89,11 @@ type Server struct {
 	timedOut  atomic.Uint64
 	cancelled atomic.Uint64
 	inFlight  atomic.Int64
+
+	streams         atomic.Uint64
+	rowsIn          atomic.Uint64
+	rowsOut         atomic.Uint64
+	streamCancelled atomic.Uint64
 }
 
 // New builds the service handler.
@@ -91,6 +107,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/derive", s.compute(deriveEndpoint))
+	s.mux.HandleFunc("POST /v1/derive/stream", s.handleDeriveStream)
 	s.mux.HandleFunc("POST /v1/allocate", s.compute(allocateEndpoint))
 	s.mux.HandleFunc("POST /v1/calibrate", s.compute(calibrateEndpoint))
 	return s
@@ -108,6 +125,11 @@ func (s *Server) Stats() ServerStats {
 		Cancelled:   s.cancelled.Load(),
 		InFlight:    s.inFlight.Load(),
 		MaxInFlight: s.cfg.MaxInFlight,
+
+		Streams:         s.streams.Load(),
+		RowsIn:          s.rowsIn.Load(),
+		RowsOut:         s.rowsOut.Load(),
+		StreamCancelled: s.streamCancelled.Load(),
 	}
 }
 
@@ -302,6 +324,12 @@ func decodeStrict(body []byte, v any) error {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("parsing request: %w", err)
+	}
+	// A second value (or garbage) after the payload would be silently
+	// dropped otherwise — on an NDJSON line that means a lost row with
+	// every later index shifted, so it must be a hard decode error.
+	if err := dec.Decode(new(any)); err != io.EOF {
+		return errors.New("parsing request: unexpected data after the JSON value")
 	}
 	return nil
 }

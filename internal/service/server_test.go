@@ -432,6 +432,7 @@ func TestCalibrateEndpointErrors(t *testing.T) {
 		{"no apps", `{"apps":[]}`},
 		{"bad json", `{`},
 		{"unknown field", `{"wat":1}`},
+		{"trailing data", `{"apps":[]} trailing`},
 		{"bad targets", `{"apps":[{"name":"a","plant":{"a":[[0,1],[-2,-3]],"b":[[0],[1]]},"h":0.02,"delayTT":0.002,"delayET":0.02,"eth":0.1,"x0":[0,2],"r":8,"deadline":3,"targetXiTT":2.0,"targetXiET":1.0}]}`},
 	} {
 		resp, err := http.Post(ts.URL+"/v1/calibrate", "application/json", strings.NewReader(c.body))

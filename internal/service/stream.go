@@ -1,0 +1,425 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"cpsdyn/internal/conc"
+	"cpsdyn/internal/sched"
+)
+
+// Line is one decoded NDJSON input line. Exactly one of Val and Err is set:
+// a malformed line is reported as an error Line (Err unwraps to a
+// *RequestError) so the consumer can emit a per-line error row and keep
+// streaming instead of aborting the whole request.
+type Line[T any] struct {
+	Index int // 0-based position among the non-blank input lines
+	Val   *T
+	Err   error
+}
+
+// DecodeLines decodes an NDJSON stream into an iterator of Lines: one JSON
+// value of type T per input line, unknown fields rejected, blank lines
+// skipped. maxLine bounds one line's byte length (≤ 0 selects 8 MiB).
+//
+// Per-line decode failures never stop the iteration — they surface as error
+// Lines. Only a reader failure (or a line exceeding maxLine, which makes
+// resynchronisation impossible) ends the stream early, as a final error
+// Line. This is the request half of the streaming codec shared by
+// POST /v1/derive/stream, slotalloc -stream and cpsrepro derive -stream.
+func DecodeLines[T any](r io.Reader, maxLine int64) iter.Seq[Line[T]] {
+	if maxLine <= 0 {
+		maxLine = 8 << 20
+	}
+	return func(yield func(Line[T]) bool) {
+		sc := bufio.NewScanner(r)
+		// The scanner's cap is max(limit, cap(buf)) — the initial buffer
+		// must not exceed the line limit or small limits are ignored.
+		initial := int64(64 << 10)
+		if initial > maxLine {
+			initial = maxLine
+		}
+		sc.Buffer(make([]byte, 0, initial), int(maxLine))
+		i := 0
+		for sc.Scan() {
+			raw := bytes.TrimSpace(sc.Bytes())
+			if len(raw) == 0 {
+				continue
+			}
+			ln := Line[T]{Index: i}
+			v := new(T)
+			if err := decodeStrict(raw, v); err != nil {
+				ln.Err = &RequestError{Err: err}
+			} else {
+				ln.Val = v
+			}
+			i++
+			if !yield(ln) {
+				return
+			}
+		}
+		if err := sc.Err(); err != nil {
+			yield(Line[T]{Index: i, Err: &RequestError{
+				Err: fmt.Errorf("reading stream: %w", err)}})
+		}
+	}
+}
+
+// DecodeRequests is the /v1/derive/stream request decoder: one DeriveAppSpec
+// per NDJSON line.
+func DecodeRequests(r io.Reader, maxLine int64) iter.Seq[Line[DeriveAppSpec]] {
+	return DecodeLines[DeriveAppSpec](r, maxLine)
+}
+
+// EncodeResult writes one NDJSON result row: the compact JSON encoding of v
+// followed by a newline. It is the response half of the streaming codec;
+// callers that need the row on the wire immediately (the HTTP handler)
+// flush after each call.
+func EncodeResult(w io.Writer, v any) error {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("encoding result row: %w", err)
+	}
+	buf = append(buf, '\n')
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("writing result row: %w", err)
+	}
+	return nil
+}
+
+// StreamRow is one NDJSON line of a /v1/derive/stream response. Index is the
+// 0-based input line the row answers; rows are emitted in input order.
+// Exactly one of Result and Error is set — an Error row reports that line's
+// failure (malformed JSON, validation, derivation) without aborting the
+// stream. A terminal row with Index −1 reports the stream itself dying
+// (budget expiry); a client that never sees its last index and no terminal
+// row was disconnected mid-flight.
+type StreamRow struct {
+	Index  int           `json:"index"`
+	Result *DeriveResult `json:"result,omitempty"`
+	Error  string        `json:"error,omitempty"`
+}
+
+// StreamStats counts one stream's traffic for the service gauges.
+type StreamStats struct {
+	RowsIn  int // non-blank request lines consumed
+	RowsOut int // response rows written
+}
+
+// StreamOptions tunes a streaming derivation or allocation run.
+type StreamOptions struct {
+	// Workers bounds the per-stream derivation pool (≤ 0 = GOMAXPROCS).
+	Workers int
+	// Window bounds how many rows may be in flight (derived out of order,
+	// waiting for in-order emission) — the peak response-side buffering,
+	// independent of stream length. ≤ 0 selects 2 × workers.
+	Window int
+	// MaxLine bounds one request line's byte length (≤ 0 = 8 MiB).
+	MaxLine int64
+}
+
+func (o StreamOptions) window(workers int) int {
+	if o.Window > 0 {
+		return o.Window
+	}
+	return 2 * workers
+}
+
+// DeriveStream runs the streaming derivation pipeline: NDJSON DeriveAppSpec
+// lines in from r, NDJSON StreamRows out to w in input order, derived across
+// a bounded worker pool with at most O(workers + window) rows buffered. The
+// first result is written while later requests are still being read.
+//
+// Per-line failures (malformed JSON, duplicate or invalid apps, derivation
+// errors) become error rows and never abort the stream. A ctx expiry stops
+// it mid-flight and is returned (the caller decides whether a terminal row
+// can still be written); a write failure on w stops it likewise.
+func DeriveStream(ctx context.Context, r io.Reader, w io.Writer, opts StreamOptions) (StreamStats, error) {
+	var stats StreamStats
+	// Duplicate app names are rejected exactly like the buffered
+	// /v1/derive path; the map lives in the (sequential) source iterator,
+	// so no locking. Error lines keep their name slot: only successfully
+	// decoded specs claim a name. This set is the one per-row retention of
+	// the stream — names only, a few bytes per row, not rows or results.
+	seen := make(map[string]bool)
+	src := func(yield func(Line[DeriveAppSpec]) bool) {
+		for ln := range DecodeRequests(r, opts.MaxLine) {
+			stats.RowsIn++
+			if ln.Val != nil {
+				if seen[ln.Val.Name] {
+					ln = Line[DeriveAppSpec]{Index: ln.Index, Err: &RequestError{
+						App: ln.Val.Name,
+						Err: fmt.Errorf("duplicate app name %q", ln.Val.Name)}}
+				} else {
+					seen[ln.Val.Name] = true
+				}
+			}
+			if !yield(ln) {
+				return
+			}
+		}
+	}
+	err := conc.StreamOrdered(ctx, opts.Workers, opts.window(effectiveWorkers(opts.Workers)), src,
+		deriveStreamRow,
+		func(_ int, row StreamRow) error {
+			if err := EncodeResult(w, row); err != nil {
+				return err
+			}
+			stats.RowsOut++
+			return nil
+		})
+	return stats, err
+}
+
+// deriveStreamRow computes one stream row: compile the spec, derive it on
+// the shared memo cache, flatten to the wire row. Failures become error
+// rows; a panicking derivation (validation gaps on adversarial input) fails
+// its own row, not the stream.
+func deriveStreamRow(ctx context.Context, i int, ln Line[DeriveAppSpec]) (row StreamRow) {
+	row.Index = ln.Index
+	defer func() {
+		if r := recover(); r != nil {
+			row.Result, row.Error = nil, fmt.Sprintf("internal error: %v", r)
+		}
+	}()
+	if ln.Err != nil {
+		row.Error = ln.Err.Error()
+		return row
+	}
+	app, err := ln.Val.application(ln.Index) // failures are self-naming *RequestErrors
+	if err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	d, err := app.DeriveContext(ctx)
+	if err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	res := deriveResult(d)
+	row.Result = &res
+	return row
+}
+
+// FleetStreamRow is one NDJSON line of a slotalloc -stream response: the
+// allocation outcome for the fleet on input line Index. Error reports a
+// malformed line; an infeasible fleet is an analysis outcome and lands in
+// Fleet.Error as usual.
+type FleetStreamRow struct {
+	Index int          `json:"index"`
+	Fleet *FleetResult `json:"fleet,omitempty"`
+	Error string       `json:"error,omitempty"`
+}
+
+// AllocateStream is DeriveStream's allocation sibling: NDJSON FleetRequest
+// lines in, NDJSON FleetStreamRows out in input order, allocated across a
+// bounded worker pool. It backs slotalloc -stream.
+func AllocateStream(ctx context.Context, r io.Reader, w io.Writer, opts StreamOptions) (StreamStats, error) {
+	var stats StreamStats
+	src := func(yield func(Line[FleetRequest]) bool) {
+		for ln := range DecodeLines[FleetRequest](r, opts.MaxLine) {
+			stats.RowsIn++
+			if !yield(ln) {
+				return
+			}
+		}
+	}
+	err := conc.StreamOrdered(ctx, opts.Workers, opts.window(effectiveWorkers(opts.Workers)), src,
+		allocateStreamRow,
+		func(_ int, row FleetStreamRow) error {
+			if err := EncodeResult(w, row); err != nil {
+				return err
+			}
+			stats.RowsOut++
+			return nil
+		})
+	return stats, err
+}
+
+// allocateStreamRow allocates one fleet line. Allocation is quick
+// arithmetic, so it takes no cancellation points of its own; the pool stops
+// dispatching rows once ctx expires.
+func allocateStreamRow(_ context.Context, _ int, ln Line[FleetRequest]) (row FleetStreamRow) {
+	row.Index = ln.Index
+	defer func() {
+		if r := recover(); r != nil {
+			row.Fleet, row.Error = nil, fmt.Sprintf("internal error: %v", r)
+		}
+	}()
+	if ln.Err != nil {
+		row.Error = ln.Err.Error()
+		return row
+	}
+	spec, unsafe, err := ln.Val.spec() // failures are self-describing *RequestErrors
+	if err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	res := &FleetResult{Name: ln.Val.Name}
+	row.Fleet = res
+	var al *sched.Allocation
+	if spec.Race {
+		al, err = sched.AllocateRace(spec.Apps, nil, spec.Method)
+	} else {
+		al, err = sched.Allocate(spec.Apps, spec.Policy, spec.Method)
+	}
+	if err != nil {
+		res.Error = err.Error() // infeasible fleet: in-band, like the batch path
+		return row
+	}
+	if err := fillFleetResult(res, ln.Val, al, unsafe); err != nil {
+		row.Fleet, row.Error = nil, err.Error()
+	}
+	return row
+}
+
+// effectiveWorkers resolves a worker bound the way the pools do.
+func effectiveWorkers(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// flushWriter pushes every written row onto the wire immediately, so the
+// client sees result rows as derivations complete instead of when the
+// stream ends.
+type flushWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+func newFlushWriter(w http.ResponseWriter) *flushWriter {
+	f, _ := w.(http.Flusher)
+	return &flushWriter{w: w, f: f}
+}
+
+func (fw *flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if err == nil && fw.f != nil {
+		fw.f.Flush()
+	}
+	return n, err
+}
+
+// handleDeriveStream serves POST /v1/derive/stream: NDJSON DeriveAppSpec
+// lines in, NDJSON StreamRows out in input order, one row flushed per
+// derivation, with memory O(workers + window) rather than O(batch). A
+// ?workers=N query bounds the per-stream pool below the operator's ceiling,
+// exactly like the buffered endpoint's workers field.
+//
+// The stream holds one in-flight slot for its whole life and runs under the
+// usual compute budget; an expiry or client disconnect cancels the
+// derivations mid-stream. Since the 200 status is on the wire before the
+// first row, failures past that point are reported in-band: per-row error
+// rows, plus a terminal Index −1 row when the budget kills the stream.
+func (s *Server) handleDeriveStream(w http.ResponseWriter, r *http.Request) {
+	workers := s.cfg.Workers
+	if q := r.URL.Query().Get("workers"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid workers value %q", q))
+			return
+		}
+		// The operator's -workers flag is a ceiling, not a default; with no
+		// flag the ceiling is GOMAXPROCS. Unlike the buffered endpoint there
+		// is no app count to clamp against — the pool and window are
+		// allocated before the first line is read — so an unbounded client
+		// value would be a trivial memory DoS.
+		if n > 0 && n <= effectiveWorkers(s.cfg.Workers) {
+			workers = n
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	// The whole stream occupies one in-flight slot (its internal fan-out is
+	// bounded by workers), with the same free-slot preference as compute.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				s.rejected.Add(1)
+			}
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("server busy: %d requests in flight", s.inFlight.Load()))
+			return
+		}
+	}
+	s.inFlight.Add(1)
+	defer func() {
+		s.inFlight.Add(-1)
+		s.streams.Add(1)
+		<-s.sem
+	}()
+	// HTTP/1 servers close the request body on the first response write by
+	// default; this handler's whole point is interleaving body reads with
+	// row writes. (HTTP/2 is full-duplex anyway and may report an error.)
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex()
+	// DeriveStream only returns once nothing touches the body any more, so
+	// a cancellation must also fail any read the decoder is blocked in —
+	// otherwise a stalled-but-connected client would pin the stream past
+	// its budget.
+	stopKick := context.AfterFunc(ctx, func() { _ = rc.SetReadDeadline(time.Now()) })
+	defer stopKick()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fw := newFlushWriter(w)
+	stats, err := DeriveStream(ctx, r.Body, fw, StreamOptions{
+		Workers: workers,
+		Window:  s.cfg.StreamWindow,
+		MaxLine: s.cfg.MaxBodyBytes,
+	})
+	s.rowsIn.Add(uint64(stats.RowsIn))
+	s.rowsOut.Add(uint64(stats.RowsOut))
+	if err == nil {
+		return
+	}
+	s.streamCancelled.Add(1)
+	if isCancellation(err) {
+		s.cancelled.Add(1)
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.timedOut.Add(1)
+			// A disconnected client cannot be told anything; a budget kill
+			// still can, in-band.
+			_ = EncodeResult(fw, StreamRow{Index: -1,
+				Error: fmt.Sprintf("stream exceeded the %s compute budget", s.cfg.Timeout)})
+		}
+	}
+}
+
+// RequestError is the typed error of the request codec: every decode or
+// validation failure of a derive/allocate payload — buffered or streamed —
+// unwraps to one, so hardened callers (and the fuzz harness) can tell
+// malformed input apart from infrastructure failures.
+type RequestError struct {
+	App string // offending app name, when known
+	Err error
+}
+
+// Error implements error. The app prefix is added unless the message
+// already carries the quoted name (core's validation errors do), so short
+// names matching an incidental substring don't lose their attribution.
+func (e *RequestError) Error() string {
+	if e.App != "" && !strings.Contains(e.Err.Error(), strconv.Quote(e.App)) {
+		return fmt.Sprintf("app %q: %v", e.App, e.Err)
+	}
+	return e.Err.Error()
+}
+
+// Unwrap exposes the underlying cause.
+func (e *RequestError) Unwrap() error { return e.Err }
