@@ -20,15 +20,41 @@
 //	POST /v1/calibrate measured-mode workflow: plants + response-time
 //	                   targets in, calibrated pole-placement designs plus
 //	                   the same derive rows out
+//	POST /v1/calibrate/stream
+//	                   the calibration workflow as NDJSON: one
+//	                   CalibrateAppSpec per request line, one calibrated
+//	                   row flushed per app, in input order
 //	POST /v1/allocate  TT-slot allocation for one fleet (slotalloc's input
 //	                   schema) or a {"fleets": [...]} batch, each fleet
 //	                   allocated concurrently; "policy": "race" races the
 //	                   heuristics per fleet
+//	POST /v1/allocate/stream
+//	                   allocation as NDJSON: one FleetRequest per request
+//	                   line (slotalloc -stream's schema), one fleet row
+//	                   flushed per allocation, in input order
 //	GET  /healthz      liveness probe
 //	GET  /statsz       derivation-cache hit/miss/eviction counters, server
-//	                   in-flight/timeout/cancellation counters and the
-//	                   cumulative simulation-step gauge
+//	                   in-flight/timeout/cancellation counters, the
+//	                   effective workers/stream-window configuration, the
+//	                   cumulative simulation-step gauge and — in gateway
+//	                   mode — per-peer health plus peerRows/peerFallbacks
 //	GET  /metrics      the same counters in Prometheus text format
+//
+// # Gateway mode
+//
+// -peers host1:8700,host2:8700,... turns the daemon into a sharding
+// gateway: derive work is partitioned by canonical plant cache key
+// (core.Application.CacheKey) across the replicas on a deterministic
+// consistent-hash ring (-ring-replicas virtual nodes per peer), each
+// request fanned out as one persistent NDJSON sub-stream per peer, rows
+// reassembled in input order. A replica that is down, slow (-peer-timeout)
+// or circuit-broken costs nothing but warmth: its rows are derived locally
+// and counted as peerFallbacks. Replicas are plain cpsdynd processes — the
+// same binary, no flags — and because equal cache keys always land on the
+// same replica, each replica's LRU holds a disjoint, stable slice of the
+// fleet's derivation cache. A forwarded request is never re-sharded (hop
+// header), so a peer list that mistakenly includes the gateway's own
+// address degrades to one wasteful extra hop instead of recursing.
 //
 // Concurrency is bounded by -max-inflight (excess requests queue and are
 // rejected 503 once their deadline passes) and each request gets a -timeout
@@ -41,7 +67,8 @@
 //
 // Usage: cpsdynd [-addr :8700] [-cache-entries 1024] [-cache-bytes N]
 // [-max-inflight N] [-timeout 60s] [-workers N] [-curve-workers N]
-// [-stream-window N] [-complete-background]
+// [-stream-window N] [-complete-background] [-peers h1:8700,h2:8700]
+// [-ring-replicas N] [-peer-timeout 10s]
 package main
 
 import (
@@ -53,6 +80,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -72,6 +100,9 @@ func main() {
 		streamWindow = flag.Int("stream-window", 0, "per-stream NDJSON reorder window: rows derived out of order awaiting in-order emission (0 = 2×workers)")
 		background   = flag.Bool("complete-background", false, "let timed-out/disconnected computations finish detached (warming the cache) instead of cancelling them")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		peers        = flag.String("peers", "", "comma-separated replica addresses (host:port or URL); non-empty switches the daemon into sharding-gateway mode")
+		ringReplicas = flag.Int("ring-replicas", 0, "virtual nodes per peer on the consistent-hash ring (0 = 128)")
+		peerTimeout  = flag.Duration("peer-timeout", 10*time.Second, "per-row round-trip budget to a replica before the row falls back to local derivation")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -81,13 +112,24 @@ func main() {
 
 	core.SetDeriveCacheCapacity(*cacheEntries, *cacheBytes)
 	core.SetCurveSamplingWorkers(*curveWorkers)
-	handler := service.New(service.Config{
+	cfg := service.Config{
 		MaxInFlight:          *maxInFlight,
 		Timeout:              *timeout,
 		Workers:              *workers,
 		CompleteInBackground: *background,
 		StreamWindow:         *streamWindow,
-	})
+		RingReplicas:         *ringReplicas,
+		PeerTimeout:          *peerTimeout,
+	}
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			cfg.Peers = append(cfg.Peers, p)
+		}
+	}
+	handler, err := service.New(cfg)
+	if err != nil {
+		log.Fatalf("cpsdynd: %v", err)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
@@ -99,6 +141,9 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
+		if len(cfg.Peers) > 0 {
+			log.Printf("cpsdynd: gateway on %s sharding across %d peers %v", *addr, len(cfg.Peers), cfg.Peers)
+		}
 		log.Printf("cpsdynd: listening on %s (cache %d entries / %d bytes)", *addr, *cacheEntries, *cacheBytes)
 		errc <- srv.ListenAndServe()
 	}()

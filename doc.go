@@ -87,5 +87,33 @@
 // line and cpsrepro derive -stream derives one app per line. Streamed
 // output, sorted by index, is byte-identical to the buffered endpoint's
 // rows for the same batch at any worker count; /statsz and /metrics expose
-// streams, rowsIn, rowsOut and streamCancelled counters.
+// streams, rowsIn, rowsOut and streamCancelled counters. The same framing
+// now also serves allocation and calibration: POST /v1/allocate/stream
+// (one FleetRequest per line) and POST /v1/calibrate/stream (one
+// CalibrateAppSpec per line) ride the identical engine, budget and
+// counters.
+//
+// # Cluster layer (sharding gateway)
+//
+// Derivation is deterministic and keyed by exact plant bit patterns, so
+// the memo cache partitions perfectly: route equal keys to one replica and
+// each replica's LRU holds a disjoint, stable slice of the fleet's
+// artefacts. internal/cluster implements that scale-out. A deterministic
+// consistent-hash ring (cluster.Ring: FNV-1a, configurable virtual nodes
+// per peer, order-independent construction) maps every app's canonical
+// cache key — core.Application.CacheKey, a string over exactly the fields
+// that reach a cache entry, deliberately excluding name/frame/r/deadline —
+// to the replica owning it; removing one of N peers reassigns only ~1/N of
+// the key space, never a survivor's warm keys. cpsdynd -peers h1,h2,...
+// turns a daemon into a gateway: /v1/derive and /v1/derive/stream keep
+// their single-node contract (validation, wire rows, input-order emission,
+// byte-identical output) but fan each request out as one persistent NDJSON
+// sub-stream per peer (cluster.Session over the streaming codec), matching
+// response rows to senders FIFO per peer and re-indexing them into the
+// caller's numbering. A replica that is down, slow (-peer-timeout) or
+// circuit-broken (consecutive-failure breaker with half-open probes) costs
+// only warmth: its rows are derived locally and counted — /statsz and
+// /metrics expose per-peer health plus peerRows and peerFallbacks, and a
+// replica's effective workers/streamWindow capacity is introspectable over
+// its own /statsz.
 package cpsdyn

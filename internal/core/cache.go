@@ -283,6 +283,57 @@ func keyVec(b *strings.Builder, v []float64) {
 	b.WriteByte('|')
 }
 
+func keyPoles(b *strings.Builder, ps []complex128) {
+	fmt.Fprintf(b, "p%d:", len(ps))
+	for _, p := range ps {
+		keyFloat(b, real(p))
+		keyFloat(b, imag(p))
+	}
+	b.WriteByte('|')
+}
+
+// CacheKey is the canonical derivation-cache key of the application: a
+// deterministic string over the exact bit patterns of everything that selects
+// the app's cached artefacts — the plant (name and matrices), the timing
+// parameters, the threshold and initial state, and the controller design
+// (poles or LQR weights). Two applications with equal CacheKeys derive
+// through exactly the same cache entries, which makes the key the natural
+// consistent-hash seed for partitioning the cache across replicas
+// (internal/cluster): route equal keys to one replica and each replica's LRU
+// holds a disjoint slice of the fleet's artefacts.
+//
+// The app Name, FrameID, disturbance period R and Deadline are deliberately
+// excluded: none of them reaches a cache entry, so renaming an app or
+// retuning its deadline must not move its plant to a cold shard. (The plant
+// name does reach the cache entries and is therefore keyed — a caller that
+// defaults an omitted plant name from the app name, as the service codec
+// does, ties the two together itself; that aliasing is identical on a
+// single node, where renaming such an app cools its local cache entries
+// just the same.)
+func (a *Application) CacheKey() string {
+	var b strings.Builder
+	b.WriteString("app|")
+	if a.Plant != nil {
+		b.WriteString(a.Plant.Name)
+		b.WriteByte('|')
+		keyMatrix(&b, a.Plant.A)
+		keyMatrix(&b, a.Plant.B)
+		keyMatrix(&b, a.Plant.C)
+	}
+	keyFloat(&b, a.H)
+	keyFloat(&b, a.DelayTT)
+	keyFloat(&b, a.DelayET)
+	keyFloat(&b, a.Eth)
+	keyVec(&b, a.X0)
+	keyPoles(&b, a.PolesTT)
+	keyPoles(&b, a.PolesET)
+	keyMatrix(&b, a.QTT)
+	keyMatrix(&b, a.RTT)
+	keyMatrix(&b, a.QET)
+	keyMatrix(&b, a.RET)
+	return b.String()
+}
+
 // curveWorkers is the process-wide fan-out width for dwell-curve sampling
 // on cache misses. 0 selects runtime.GOMAXPROCS(0) — the tentpole default:
 // a single cold derive saturates every core. The sampled curves are

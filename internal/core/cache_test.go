@@ -270,3 +270,45 @@ func TestSetDeriveCacheCapacityEvictsShared(t *testing.T) {
 		t.Fatalf("after shrink: %+v (before: %+v)", after, before)
 	}
 }
+
+// CacheKey is what the cluster layer shards on: it must be stable under the
+// fields that never reach a cache entry (name, frame ID, r, deadline) and
+// change with every field that does.
+func TestCacheKeyTracksCachedArtefactsOnly(t *testing.T) {
+	base := servoApp("A", 1, 3)
+	twin := servoApp("B", 9, 7) // different name/frame/deadline, same dynamics
+	twin.R = 20
+	if base.CacheKey() != twin.CacheKey() {
+		t.Fatal("renaming/retiming an app moved its cache key")
+	}
+	mutations := []struct {
+		name   string
+		mutate func(*Application)
+	}{
+		{"plant name", func(a *Application) {
+			p := *a.Plant
+			p.Name = "other"
+			a.Plant = &p
+		}},
+		{"plant entry", func(a *Application) {
+			p := *a.Plant
+			p.A = p.A.Clone()
+			p.A.Set(0, 0, p.A.At(0, 0)+1e-12)
+			a.Plant = &p
+		}},
+		{"h", func(a *Application) { a.H = 0.021 }},
+		{"delayTT", func(a *Application) { a.DelayTT = 0.003 }},
+		{"delayET", func(a *Application) { a.DelayET = 0.019 }},
+		{"eth", func(a *Application) { a.Eth = 0.2 }},
+		{"x0", func(a *Application) { a.X0 = []float64{0, 2.5} }},
+		{"polesTT", func(a *Application) { a.PolesTT = []complex128{0.81, 0.70, 0.05} }},
+		{"polesET nil (LQR default)", func(a *Application) { a.PolesET = nil }},
+	}
+	for _, m := range mutations {
+		app := servoApp("A", 1, 3)
+		m.mutate(app)
+		if app.CacheKey() == base.CacheKey() {
+			t.Errorf("%s: mutation did not change the cache key", m.name)
+		}
+	}
+}

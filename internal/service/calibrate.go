@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 
 	"cpsdyn/internal/casestudy"
 	"cpsdyn/internal/conc"
@@ -145,6 +146,69 @@ func Calibrate(ctx context.Context, req *CalibrateRequest) (*CalibrateResponse, 
 	}
 	resp.Cache = core.DeriveCacheStats()
 	return resp, nil
+}
+
+// CalibrateStreamRow is one NDJSON line of a /v1/calibrate/stream response:
+// the calibration outcome for the app on input line Index, in the same shape
+// a buffered /v1/calibrate reports per app. Exactly one of Result and Error
+// is set.
+type CalibrateStreamRow struct {
+	Index  int              `json:"index"`
+	Result *CalibrateResult `json:"result,omitempty"`
+	Error  string           `json:"error,omitempty"`
+}
+
+// CalibrateStream is DeriveStream's measured-mode sibling: NDJSON
+// CalibrateAppSpec lines in, NDJSON CalibrateStreamRows out in input order,
+// each app's design search and derivation run across a bounded worker pool.
+// Per-line failures (malformed JSON, invalid specs, searches that do not
+// converge) become error rows and never abort the stream; a ctx expiry stops
+// it mid-flight like the other engines.
+func CalibrateStream(ctx context.Context, r io.Reader, w io.Writer, opts StreamOptions) (StreamStats, error) {
+	var stats StreamStats
+	err := conc.StreamOrdered(ctx, opts.Workers, opts.window(effectiveWorkers(opts.Workers)),
+		countingSource[CalibrateAppSpec](r, opts.MaxLine, &stats),
+		calibrateStreamRow,
+		encodeSink[CalibrateStreamRow](w, &stats))
+	return stats, err
+}
+
+// calibrateStreamRow runs one line's full measured-mode workflow: compile
+// the spec, search the controller designs against its targets, then derive
+// the calibrated app on the shared memo cache. Failures become error rows; a
+// panic fails its own row, not the stream.
+func calibrateStreamRow(ctx context.Context, _ int, ln Line[CalibrateAppSpec]) (row CalibrateStreamRow) {
+	row.Index = ln.Index
+	defer func() {
+		if r := recover(); r != nil {
+			row.Result, row.Error = nil, fmt.Sprintf("internal error: %v", r)
+		}
+	}()
+	if ln.Err != nil {
+		row.Error = ln.Err.Error()
+		return row
+	}
+	app, err := ln.Val.application(ln.Index)
+	if err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	if err := casestudy.Calibrate(ctx, app, ln.Val.TargetXiTT, ln.Val.TargetXiET, ln.Val.EtOmega); err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	d, err := app.DeriveContext(ctx)
+	if err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	res := CalibrateResult{
+		DeriveResult: deriveResult(d),
+		PolesTT:      poleSpecs(app.PolesTT),
+		PolesET:      poleSpecs(app.PolesET),
+	}
+	row.Result = &res
+	return row
 }
 
 func calibrateEndpoint(ctx context.Context, s *Server, body []byte) (any, error) {

@@ -42,7 +42,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	metric("cpsdynd_max_in_flight", "gauge",
 		"The in-flight concurrency bound.", float64(srv.MaxInFlight))
 	metric("cpsdynd_streams_total", "counter",
-		"NDJSON derive streams completed (including cancelled ones).", float64(srv.Streams))
+		"NDJSON streams completed across derive, allocate and calibrate (including cancelled ones).", float64(srv.Streams))
 	metric("cpsdynd_stream_rows_in_total", "counter",
 		"NDJSON request rows consumed across all streams.", float64(srv.RowsIn))
 	metric("cpsdynd_stream_rows_out_total", "counter",
@@ -51,6 +51,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"Streams cut short by budget expiry, disconnect or write failure.", float64(srv.StreamCancelled))
 	metric("cpsdynd_sim_steps_total", "counter",
 		"Cumulative closed-loop simulation steps across all derivations.", float64(switching.SimSteps()))
+	metric("cpsdynd_workers", "gauge",
+		"Per-request worker ceiling (defaults resolved).", float64(srv.Workers))
+	metric("cpsdynd_stream_window", "gauge",
+		"Per-stream NDJSON reorder window (defaults resolved).", float64(srv.StreamWindow))
+	if s.gw != nil {
+		gst := s.gw.Stats()
+		down := 0
+		for _, p := range gst.Peers {
+			if p.Down {
+				down++
+			}
+		}
+		metric("cpsdynd_peers", "gauge",
+			"Replica peers configured in sharding-gateway mode.", float64(len(gst.Peers)))
+		metric("cpsdynd_peers_down", "gauge",
+			"Peers whose circuit breaker is currently open.", float64(down))
+		metric("cpsdynd_peer_rows_total", "counter",
+			"Derive rows answered by replica peers.", float64(gst.PeerRows))
+		metric("cpsdynd_peer_fallbacks_total", "counter",
+			"Derive rows computed locally because a peer was down or slow.", float64(gst.PeerFallbacks))
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte(b.String()))

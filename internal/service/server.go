@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cpsdyn/internal/cluster"
 	"cpsdyn/internal/core"
 	"cpsdyn/internal/switching"
 )
@@ -36,11 +37,26 @@ type Config struct {
 	// The default is to cancel it — an abandoned request stops consuming
 	// CPU the moment nobody is waiting for its answer.
 	CompleteInBackground bool
-	// StreamWindow bounds the per-stream reorder buffer of
-	// POST /v1/derive/stream: how many rows may be derived out of order
+	// StreamWindow bounds the per-stream reorder buffer of the NDJSON
+	// streaming endpoints: how many rows may be computed out of order
 	// before in-order emission, the peak response-side buffering no matter
 	// how long the stream is. ≤ 0 selects 2 × the stream's worker count.
 	StreamWindow int
+
+	// Peers switches the server into sharding-gateway mode: derive work
+	// (/v1/derive and /v1/derive/stream) is partitioned by canonical plant
+	// cache key (core.Application.CacheKey) across these replica addresses
+	// on a deterministic consistent-hash ring, each request fanned out as
+	// one NDJSON streaming sub-request per peer, with local computation as
+	// the fallback when a peer is down or slow. Empty means a plain
+	// single-node server.
+	Peers []string
+	// RingReplicas is the per-peer virtual-node count on the hash ring
+	// (≤ 0 selects cluster.DefaultVirtualNodes).
+	RingReplicas int
+	// PeerTimeout bounds one row's round-trip to a replica before the row
+	// falls back to local computation (≤ 0 selects 10 s).
+	PeerTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -66,10 +82,16 @@ type ServerStats struct {
 	InFlight    int64  `json:"inFlight"`    // currently computing
 	MaxInFlight int    `json:"maxInFlight"` // the semaphore bound
 
-	Streams         uint64 `json:"streams"`         // /v1/derive/stream requests completed
+	Streams         uint64 `json:"streams"`         // NDJSON stream requests completed
 	RowsIn          uint64 `json:"rowsIn"`          // stream request rows consumed
 	RowsOut         uint64 `json:"rowsOut"`         // stream result rows written
 	StreamCancelled uint64 `json:"streamCancelled"` // streams cut short by budget/disconnect
+
+	// Workers and StreamWindow report the effective configuration (defaults
+	// resolved), so a gateway — or any operator — can introspect a replica's
+	// capacity over /statsz instead of parsing its flags.
+	Workers      int `json:"workers"`      // per-request worker ceiling
+	StreamWindow int `json:"streamWindow"` // per-stream reorder window
 }
 
 // Server is the cpsdynd HTTP handler: batch derivation, calibration and
@@ -83,6 +105,7 @@ type Server struct {
 	cfg Config
 	mux *http.ServeMux
 	sem chan struct{}
+	gw  *cluster.Gateway // non-nil in sharding-gateway mode
 
 	requests  atomic.Uint64
 	rejected  atomic.Uint64
@@ -96,21 +119,51 @@ type Server struct {
 	streamCancelled atomic.Uint64
 }
 
-// New builds the service handler.
-func New(cfg Config) *Server {
+// New builds the service handler. It fails only on a misconfigured gateway
+// peer set (empty strings, duplicates, unparsable addresses).
+func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg: cfg.withDefaults(),
 		mux: http.NewServeMux(),
 	}
 	s.sem = make(chan struct{}, s.cfg.MaxInFlight)
+	deriveBuffered := s.compute(deriveEndpoint)
+	deriveStream := s.stream(DeriveStream)
+	if len(s.cfg.Peers) > 0 {
+		gw, err := cluster.New(cluster.Config{
+			Peers:        s.cfg.Peers,
+			VirtualNodes: s.cfg.RingReplicas,
+			Timeout:      s.cfg.PeerTimeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.gw = gw
+		deriveBuffered = s.compute(gatewayDeriveEndpoint)
+		// A request already forwarded by a gateway is served single-node:
+		// re-sharding it could recurse — a peer list that (mis)includes this
+		// gateway's own address, or a ring of gateways, must degrade to one
+		// extra hop, not to a stack of sub-requests eating every in-flight
+		// slot.
+		plain, sharded := deriveStream, s.stream(s.gatewayDeriveStream)
+		deriveStream = func(w http.ResponseWriter, r *http.Request) {
+			if r.Header.Get(cluster.HopHeader) != "" {
+				plain(w, r)
+				return
+			}
+			sharded(w, r)
+		}
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("POST /v1/derive", s.compute(deriveEndpoint))
-	s.mux.HandleFunc("POST /v1/derive/stream", s.handleDeriveStream)
+	s.mux.HandleFunc("POST /v1/derive", deriveBuffered)
+	s.mux.HandleFunc("POST /v1/derive/stream", deriveStream)
 	s.mux.HandleFunc("POST /v1/allocate", s.compute(allocateEndpoint))
+	s.mux.HandleFunc("POST /v1/allocate/stream", s.stream(AllocateStream))
 	s.mux.HandleFunc("POST /v1/calibrate", s.compute(calibrateEndpoint))
-	return s
+	s.mux.HandleFunc("POST /v1/calibrate/stream", s.stream(CalibrateStream))
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -130,6 +183,9 @@ func (s *Server) Stats() ServerStats {
 		RowsIn:          s.rowsIn.Load(),
 		RowsOut:         s.rowsOut.Load(),
 		StreamCancelled: s.streamCancelled.Load(),
+
+		Workers:      effectiveWorkers(s.cfg.Workers),
+		StreamWindow: StreamOptions{Window: s.cfg.StreamWindow}.window(effectiveWorkers(s.cfg.Workers)),
 	}
 }
 
@@ -156,18 +212,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // StatszResponse is the GET /statsz body. SimSteps is the cumulative
 // closed-loop simulation step counter (switching.SimSteps) — a live compute
 // gauge: it stops climbing when cancelled computations actually stop.
+// Gateway is only present in sharding-gateway mode: the peer list with
+// per-peer health plus the peerRows/peerFallbacks counters.
 type StatszResponse struct {
 	Cache    core.CacheStats `json:"cache"`
 	Server   ServerStats     `json:"server"`
 	SimSteps uint64          `json:"simSteps"`
+	Gateway  *cluster.Stats  `json:"gateway,omitempty"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, StatszResponse{
+	resp := StatszResponse{
 		Cache:    core.DeriveCacheStats(),
 		Server:   s.Stats(),
 		SimSteps: switching.SimSteps(),
-	})
+	}
+	if s.gw != nil {
+		gst := s.gw.Stats()
+		resp.Gateway = &gst
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // endpoint decodes its body and computes a response; a returned error is a

@@ -25,7 +25,11 @@ func newTestServer(t *testing.T, cfg Config) *httptest.Server {
 	t.Helper()
 	core.ResetDeriveCache()
 	core.SetDeriveCacheCapacity(128, 0)
-	ts := httptest.NewServer(New(cfg))
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
 		ts.Close()
 		core.ResetDeriveCache()
@@ -532,7 +536,10 @@ func TestOversizedBodyIs413(t *testing.T) {
 // A panicking computation must fail its own request with a 500, not kill
 // the daemon.
 func TestComputeRecoversPanic(t *testing.T) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	h := s.compute(func(context.Context, *Server, []byte) (any, error) { panic("boom") })
 	rr := httptest.NewRecorder()
 	h(rr, httptest.NewRequest(http.MethodPost, "/x", strings.NewReader(`{}`)))

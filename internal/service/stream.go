@@ -104,11 +104,16 @@ func EncodeResult(w io.Writer, v any) error {
 // failure (malformed JSON, validation, derivation) without aborting the
 // stream. A terminal row with Index −1 reports the stream itself dying
 // (budget expiry); a client that never sees its last index and no terminal
-// row was disconnected mid-flight.
+// row was disconnected mid-flight. Cancelled marks an error row whose
+// derivation was cut short by the stream's own death (budget expiry,
+// disconnect) rather than failing on its merits — a structured marker so a
+// gateway can re-derive exactly those rows without parsing error text the
+// client may have influenced.
 type StreamRow struct {
-	Index  int           `json:"index"`
-	Result *DeriveResult `json:"result,omitempty"`
-	Error  string        `json:"error,omitempty"`
+	Index     int           `json:"index"`
+	Result    *DeriveResult `json:"result,omitempty"`
+	Error     string        `json:"error,omitempty"`
+	Cancelled bool          `json:"cancelled,omitempty"`
 }
 
 // StreamStats counts one stream's traffic for the service gauges.
@@ -130,32 +135,30 @@ type StreamOptions struct {
 }
 
 func (o StreamOptions) window(workers int) int {
-	if o.Window > 0 {
-		return o.Window
+	w := o.Window
+	if w <= 0 {
+		w = 2 * workers
 	}
-	return 2 * workers
+	if w < workers {
+		// conc.StreamOrdered raises any smaller window to the worker count;
+		// resolving the clamp here keeps /statsz introspection honest about
+		// the window streams actually run with.
+		w = workers
+	}
+	return w
 }
 
-// DeriveStream runs the streaming derivation pipeline: NDJSON DeriveAppSpec
-// lines in from r, NDJSON StreamRows out to w in input order, derived across
-// a bounded worker pool with at most O(workers + window) rows buffered. The
-// first result is written while later requests are still being read.
-//
-// Per-line failures (malformed JSON, duplicate or invalid apps, derivation
-// errors) become error rows and never abort the stream. A ctx expiry stops
-// it mid-flight and is returned (the caller decides whether a terminal row
-// can still be written); a write failure on w stops it likewise.
-func DeriveStream(ctx context.Context, r io.Reader, w io.Writer, opts StreamOptions) (StreamStats, error) {
-	var stats StreamStats
-	// Duplicate app names are rejected exactly like the buffered
-	// /v1/derive path; the map lives in the (sequential) source iterator,
-	// so no locking. Error lines keep their name slot: only successfully
-	// decoded specs claim a name. This set is the one per-row retention of
-	// the stream — names only, a few bytes per row, not rows or results.
+// deriveSource decodes the request half of a derive stream: one
+// DeriveAppSpec per line, counted into stats, with the buffered /v1/derive
+// path's duplicate-name discipline applied in the (sequential) source
+// iterator, so no locking. Error lines keep their name slot: only
+// successfully decoded specs claim a name. The seen set is the one per-row
+// retention of the stream — names only, a few bytes per row, not rows or
+// results. Shared by DeriveStream and the gateway's sharded engine.
+func deriveSource(r io.Reader, maxLine int64, stats *StreamStats) iter.Seq[Line[DeriveAppSpec]] {
 	seen := make(map[string]bool)
-	src := func(yield func(Line[DeriveAppSpec]) bool) {
-		for ln := range DecodeRequests(r, opts.MaxLine) {
-			stats.RowsIn++
+	return func(yield func(Line[DeriveAppSpec]) bool) {
+		for ln := range countingSource[DeriveAppSpec](r, maxLine, stats) {
 			if ln.Val != nil {
 				if seen[ln.Val.Name] {
 					ln = Line[DeriveAppSpec]{Index: ln.Index, Err: &RequestError{
@@ -170,15 +173,49 @@ func DeriveStream(ctx context.Context, r io.Reader, w io.Writer, opts StreamOpti
 			}
 		}
 	}
-	err := conc.StreamOrdered(ctx, opts.Workers, opts.window(effectiveWorkers(opts.Workers)), src,
-		deriveStreamRow,
-		func(_ int, row StreamRow) error {
-			if err := EncodeResult(w, row); err != nil {
-				return err
+}
+
+// countingSource decodes one T per NDJSON line, counting rows into stats —
+// the request half shared by the engines with no extra per-line discipline
+// (deriveSource layers the duplicate-name check on top of the same shape).
+func countingSource[T any](r io.Reader, maxLine int64, stats *StreamStats) iter.Seq[Line[T]] {
+	return func(yield func(Line[T]) bool) {
+		for ln := range DecodeLines[T](r, maxLine) {
+			stats.RowsIn++
+			if !yield(ln) {
+				return
 			}
-			stats.RowsOut++
-			return nil
-		})
+		}
+	}
+}
+
+// encodeSink writes result rows to w, counting each into stats — the
+// emission half every streaming engine shares.
+func encodeSink[R any](w io.Writer, stats *StreamStats) func(int, R) error {
+	return func(_ int, row R) error {
+		if err := EncodeResult(w, row); err != nil {
+			return err
+		}
+		stats.RowsOut++
+		return nil
+	}
+}
+
+// DeriveStream runs the streaming derivation pipeline: NDJSON DeriveAppSpec
+// lines in from r, NDJSON StreamRows out to w in input order, derived across
+// a bounded worker pool with at most O(workers + window) rows buffered. The
+// first result is written while later requests are still being read.
+//
+// Per-line failures (malformed JSON, duplicate or invalid apps, derivation
+// errors) become error rows and never abort the stream. A ctx expiry stops
+// it mid-flight and is returned (the caller decides whether a terminal row
+// can still be written); a write failure on w stops it likewise.
+func DeriveStream(ctx context.Context, r io.Reader, w io.Writer, opts StreamOptions) (StreamStats, error) {
+	var stats StreamStats
+	err := conc.StreamOrdered(ctx, opts.Workers, opts.window(effectiveWorkers(opts.Workers)),
+		deriveSource(r, opts.MaxLine, &stats),
+		deriveStreamRow,
+		encodeSink[StreamRow](w, &stats))
 	return stats, err
 }
 
@@ -205,6 +242,7 @@ func deriveStreamRow(ctx context.Context, i int, ln Line[DeriveAppSpec]) (row St
 	d, err := app.DeriveContext(ctx)
 	if err != nil {
 		row.Error = err.Error()
+		row.Cancelled = isCancellation(err)
 		return row
 	}
 	res := deriveResult(d)
@@ -227,23 +265,10 @@ type FleetStreamRow struct {
 // bounded worker pool. It backs slotalloc -stream.
 func AllocateStream(ctx context.Context, r io.Reader, w io.Writer, opts StreamOptions) (StreamStats, error) {
 	var stats StreamStats
-	src := func(yield func(Line[FleetRequest]) bool) {
-		for ln := range DecodeLines[FleetRequest](r, opts.MaxLine) {
-			stats.RowsIn++
-			if !yield(ln) {
-				return
-			}
-		}
-	}
-	err := conc.StreamOrdered(ctx, opts.Workers, opts.window(effectiveWorkers(opts.Workers)), src,
+	err := conc.StreamOrdered(ctx, opts.Workers, opts.window(effectiveWorkers(opts.Workers)),
+		countingSource[FleetRequest](r, opts.MaxLine, &stats),
 		allocateStreamRow,
-		func(_ int, row FleetStreamRow) error {
-			if err := EncodeResult(w, row); err != nil {
-				return err
-			}
-			stats.RowsOut++
-			return nil
-		})
+		encodeSink[FleetStreamRow](w, &stats))
 	return stats, err
 }
 
@@ -313,91 +338,99 @@ func (fw *flushWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// handleDeriveStream serves POST /v1/derive/stream: NDJSON DeriveAppSpec
-// lines in, NDJSON StreamRows out in input order, one row flushed per
-// derivation, with memory O(workers + window) rather than O(batch). A
+// streamEngine is one NDJSON pipeline: request lines from r, result rows to
+// w in input order, under opts. DeriveStream, AllocateStream,
+// CalibrateStream and the gateway's sharded derive all fit it, so the HTTP
+// machinery around them lives once, in Server.stream.
+type streamEngine func(ctx context.Context, r io.Reader, w io.Writer, opts StreamOptions) (StreamStats, error)
+
+// stream wraps an engine as a streaming HTTP handler: NDJSON request lines
+// in, NDJSON result rows out in input order, one row flushed per
+// computation, with memory O(workers + window) rather than O(batch). A
 // ?workers=N query bounds the per-stream pool below the operator's ceiling,
-// exactly like the buffered endpoint's workers field.
+// exactly like the buffered endpoints' workers field.
 //
 // The stream holds one in-flight slot for its whole life and runs under the
 // usual compute budget; an expiry or client disconnect cancels the
-// derivations mid-stream. Since the 200 status is on the wire before the
+// computations mid-stream. Since the 200 status is on the wire before the
 // first row, failures past that point are reported in-band: per-row error
 // rows, plus a terminal Index −1 row when the budget kills the stream.
-func (s *Server) handleDeriveStream(w http.ResponseWriter, r *http.Request) {
-	workers := s.cfg.Workers
-	if q := r.URL.Query().Get("workers"); q != "" {
-		n, err := strconv.Atoi(q)
-		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid workers value %q", q))
-			return
+func (s *Server) stream(engine streamEngine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		workers := s.cfg.Workers
+		if q := r.URL.Query().Get("workers"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("invalid workers value %q", q))
+				return
+			}
+			// The operator's -workers flag is a ceiling, not a default; with no
+			// flag the ceiling is GOMAXPROCS. Unlike the buffered endpoints there
+			// is no app count to clamp against — the pool and window are
+			// allocated before the first line is read — so an unbounded client
+			// value would be a trivial memory DoS.
+			if n > 0 && n <= effectiveWorkers(s.cfg.Workers) {
+				workers = n
+			}
 		}
-		// The operator's -workers flag is a ceiling, not a default; with no
-		// flag the ceiling is GOMAXPROCS. Unlike the buffered endpoint there
-		// is no app count to clamp against — the pool and window are
-		// allocated before the first line is read — so an unbounded client
-		// value would be a trivial memory DoS.
-		if n > 0 && n <= effectiveWorkers(s.cfg.Workers) {
-			workers = n
-		}
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
-	defer cancel()
-	// The whole stream occupies one in-flight slot (its internal fan-out is
-	// bounded by workers), with the same free-slot preference as compute.
-	select {
-	case s.sem <- struct{}{}:
-	default:
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		defer cancel()
+		// The whole stream occupies one in-flight slot (its internal fan-out is
+		// bounded by workers), with the same free-slot preference as compute.
 		select {
 		case s.sem <- struct{}{}:
-		case <-ctx.Done():
-			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-				s.rejected.Add(1)
+		default:
+			select {
+			case s.sem <- struct{}{}:
+			case <-ctx.Done():
+				if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+					s.rejected.Add(1)
+				}
+				writeError(w, http.StatusServiceUnavailable,
+					fmt.Errorf("server busy: %d requests in flight", s.inFlight.Load()))
+				return
 			}
-			writeError(w, http.StatusServiceUnavailable,
-				fmt.Errorf("server busy: %d requests in flight", s.inFlight.Load()))
+		}
+		s.inFlight.Add(1)
+		defer func() {
+			s.inFlight.Add(-1)
+			s.streams.Add(1)
+			<-s.sem
+		}()
+		// HTTP/1 servers close the request body on the first response write by
+		// default; this handler's whole point is interleaving body reads with
+		// row writes. (HTTP/2 is full-duplex anyway and may report an error.)
+		rc := http.NewResponseController(w)
+		_ = rc.EnableFullDuplex()
+		// The engine only returns once nothing touches the body any more, so
+		// a cancellation must also fail any read the decoder is blocked in —
+		// otherwise a stalled-but-connected client would pin the stream past
+		// its budget.
+		stopKick := context.AfterFunc(ctx, func() { _ = rc.SetReadDeadline(time.Now()) })
+		defer stopKick()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		fw := newFlushWriter(w)
+		stats, err := engine(ctx, r.Body, fw, StreamOptions{
+			Workers: workers,
+			Window:  s.cfg.StreamWindow,
+			MaxLine: s.cfg.MaxBodyBytes,
+		})
+		s.rowsIn.Add(uint64(stats.RowsIn))
+		s.rowsOut.Add(uint64(stats.RowsOut))
+		if err == nil {
 			return
 		}
-	}
-	s.inFlight.Add(1)
-	defer func() {
-		s.inFlight.Add(-1)
-		s.streams.Add(1)
-		<-s.sem
-	}()
-	// HTTP/1 servers close the request body on the first response write by
-	// default; this handler's whole point is interleaving body reads with
-	// row writes. (HTTP/2 is full-duplex anyway and may report an error.)
-	rc := http.NewResponseController(w)
-	_ = rc.EnableFullDuplex()
-	// DeriveStream only returns once nothing touches the body any more, so
-	// a cancellation must also fail any read the decoder is blocked in —
-	// otherwise a stalled-but-connected client would pin the stream past
-	// its budget.
-	stopKick := context.AfterFunc(ctx, func() { _ = rc.SetReadDeadline(time.Now()) })
-	defer stopKick()
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	fw := newFlushWriter(w)
-	stats, err := DeriveStream(ctx, r.Body, fw, StreamOptions{
-		Workers: workers,
-		Window:  s.cfg.StreamWindow,
-		MaxLine: s.cfg.MaxBodyBytes,
-	})
-	s.rowsIn.Add(uint64(stats.RowsIn))
-	s.rowsOut.Add(uint64(stats.RowsOut))
-	if err == nil {
-		return
-	}
-	s.streamCancelled.Add(1)
-	if isCancellation(err) {
-		s.cancelled.Add(1)
-		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			s.timedOut.Add(1)
-			// A disconnected client cannot be told anything; a budget kill
-			// still can, in-band.
-			_ = EncodeResult(fw, StreamRow{Index: -1,
-				Error: fmt.Sprintf("stream exceeded the %s compute budget", s.cfg.Timeout)})
+		s.streamCancelled.Add(1)
+		if isCancellation(err) {
+			s.cancelled.Add(1)
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				s.timedOut.Add(1)
+				// A disconnected client cannot be told anything; a budget kill
+				// still can, in-band.
+				_ = EncodeResult(fw, StreamRow{Index: -1,
+					Error: fmt.Sprintf("stream exceeded the %s compute budget", s.cfg.Timeout)})
+			}
 		}
 	}
 }
