@@ -1,0 +1,106 @@
+// Command cpsdynlint is the multichecker for the repo's project
+// invariants: it loads the packages named on the command line (./... by
+// default), runs the internal/analysis suite over them and prints one
+// go-vet-style line per finding. A non-empty finding set exits 1, which is
+// what makes the CI job a blocking correctness gate.
+//
+// Each analyzer is scoped to the packages whose invariant it guards:
+//
+//	ctxflow      library packages under internal/ (context must flow end to end)
+//	allocfree    everywhere — it fires only inside //cpsdyn:allocfree functions
+//	determinism  the kernel packages: internal/mat, switching, lti, sim, pwl
+//	metricsync   everywhere — it fires only in packages annotating their
+//	             statsz/metrics handler pair
+//
+// See internal/analysis/README.md for the annotation grammar and how to
+// add an analyzer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"cpsdyn/internal/analysis"
+	"cpsdyn/internal/analysis/allocfree"
+	"cpsdyn/internal/analysis/ctxflow"
+	"cpsdyn/internal/analysis/determinism"
+	"cpsdyn/internal/analysis/metricsync"
+)
+
+// kernelPkgs are the packages whose output must stay byte-deterministic at
+// any worker count (ROADMAP: deterministic derivation is what makes the
+// cache, the streaming diff-tests and the cluster sharding safe).
+var kernelPkgs = map[string]bool{
+	"cpsdyn/internal/mat":       true,
+	"cpsdyn/internal/switching": true,
+	"cpsdyn/internal/lti":       true,
+	"cpsdyn/internal/sim":       true,
+	"cpsdyn/internal/pwl":       true,
+}
+
+// checks pairs every analyzer with the package set it applies to.
+var checks = []struct {
+	analyzer *analysis.Analyzer
+	applies  func(pkgPath string) bool
+}{
+	{ctxflow.Analyzer, func(p string) bool {
+		return strings.Contains(p, "/internal/") && !strings.Contains(p, "/internal/analysis")
+	}},
+	{allocfree.Analyzer, func(string) bool { return true }},
+	{determinism.Analyzer, func(p string) bool { return kernelPkgs[p] }},
+	{metricsync.Analyzer, func(string) bool { return true }},
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: cpsdynlint [packages]\n\nRuns the cpsdyn invariant analyzers (ctxflow, allocfree, determinism,\nmetricsync) over the named packages (default ./...) and exits 1 on any\nfinding.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cpsdynlint:", err)
+		os.Exit(2)
+	}
+	type finding struct {
+		pos      string
+		message  string
+		analyzer string
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, c := range checks {
+			if !c.applies(pkg.PkgPath) {
+				continue
+			}
+			diags, err := pkg.Run(c.analyzer)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cpsdynlint:", err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				findings = append(findings, finding{
+					pos:      pkg.Fset.Position(d.Pos).String(),
+					message:  d.Message,
+					analyzer: c.analyzer.Name,
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		fmt.Printf("%s: %s [%s]\n", f.pos, f.message, f.analyzer)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "cpsdynlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

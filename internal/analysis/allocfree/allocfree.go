@@ -1,0 +1,101 @@
+// Package allocfree is the compile-time half of the PR-3 hot-kernel
+// contract: a function annotated //cpsdyn:allocfree promises to perform no
+// heap allocation per call, so the settling kernel and the matrix-vector
+// paths under it stay allocation-free no matter the simulation horizon.
+// The runtime half is the testing.AllocsPerRun regression test; this
+// analyzer catches the regression at lint time, in code paths a benchmark
+// run may not cover.
+//
+// Inside an annotated function the analyzer rejects the syntactic
+// allocators:
+//
+//   - make(...) and new(...)
+//   - append(...) — growth allocates, and a kernel has no business
+//     appending even within capacity
+//   - map and slice composite literals (struct and array literals are
+//     value constructions and stay)
+//   - function literals — closures allocate their environment
+//
+// The check is deliberately shallow: calls into other functions are the
+// callee's business (annotate the callee too if it is part of the kernel).
+// Unannotated functions are never checked.
+package allocfree
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cpsdyn/internal/analysis"
+)
+
+// Directive is the annotation that opts a function into the check.
+const Directive = "allocfree"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc:  "functions annotated //cpsdyn:allocfree must contain no allocating constructs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.FuncDirective(fd, Directive) {
+				continue
+			}
+			checkBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(),
+				"%s is annotated //cpsdyn:allocfree but contains a function literal (closures allocate their environment)",
+				fd.Name.Name)
+			return false // the literal's own body is unreachable allocation-wise once flagged
+		case *ast.CallExpr:
+			if name, ok := builtinName(pass.TypesInfo, n); ok {
+				switch name {
+				case "make", "new":
+					pass.Reportf(n.Pos(),
+						"%s is annotated //cpsdyn:allocfree but calls %s", fd.Name.Name, name)
+				case "append":
+					pass.Reportf(n.Pos(),
+						"%s is annotated //cpsdyn:allocfree but calls append (growth allocates)", fd.Name.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(),
+					"%s is annotated //cpsdyn:allocfree but builds a map literal", fd.Name.Name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(),
+					"%s is annotated //cpsdyn:allocfree but builds a slice literal", fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// builtinName resolves call's callee to a builtin's name.
+func builtinName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	if !ok {
+		return "", false
+	}
+	return b.Name(), true
+}

@@ -1,0 +1,14 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"cpsdyn/internal/analysis/allocfree"
+	"cpsdyn/internal/analysis/analysistest"
+)
+
+func TestPositive(t *testing.T) { analysistest.Run(t, "testdata/src/a", allocfree.Analyzer) }
+
+func TestNegative(t *testing.T) { analysistest.Run(t, "testdata/src/b", allocfree.Analyzer) }
+
+func TestUnannotatedExempt(t *testing.T) { analysistest.Run(t, "testdata/src/c", allocfree.Analyzer) }

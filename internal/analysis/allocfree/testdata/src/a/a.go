@@ -1,0 +1,41 @@
+// Package a exercises the allocfree positive cases: annotated kernels
+// containing each rejected allocating construct.
+package a
+
+// kernelMake allocates scratch per call.
+//
+//cpsdyn:allocfree
+func kernelMake(n int) []float64 {
+	buf := make([]float64, n) // want `calls make`
+	return buf
+}
+
+// kernelNew allocates a box per call.
+//
+//cpsdyn:allocfree
+func kernelNew() *float64 {
+	return new(float64) // want `calls new`
+}
+
+// kernelAppend grows per call.
+//
+//cpsdyn:allocfree
+func kernelAppend(dst []float64, v float64) []float64 {
+	return append(dst, v) // want `calls append`
+}
+
+// kernelLiterals builds heap-backed literals per call.
+//
+//cpsdyn:allocfree
+func kernelLiterals() int {
+	m := map[string]int{"a": 1} // want `map literal`
+	s := []int{1, 2, 3}         // want `slice literal`
+	return m["a"] + s[0]
+}
+
+// kernelClosure captures its environment per call.
+//
+//cpsdyn:allocfree
+func kernelClosure(x float64) func() float64 {
+	return func() float64 { return x } // want `function literal`
+}

@@ -1,0 +1,36 @@
+// Package b is the allocfree negative case: an annotated kernel in the
+// repo's real shape — ping-pong scratch buffers, indexed writes, struct
+// and array values — on which the analyzer must stay silent.
+package b
+
+type matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// mulVecTo is the settling kernel's inner product: writes into
+// caller-provided scratch only.
+//
+//cpsdyn:allocfree
+func mulVecTo(m *matrix, dst, v []float64) {
+	for i := 0; i < m.rows; i++ {
+		s := 0.0
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, a := range row {
+			s += a * v[j]
+		}
+		dst[i] = s
+	}
+}
+
+// settle ping-pongs two scratch buffers; struct values and arrays are
+// value constructions, not heap growth.
+//
+//cpsdyn:allocfree
+func settle(m *matrix, cur, nxt []float64, steps int) [2]float64 {
+	for k := 0; k < steps; k++ {
+		mulVecTo(m, nxt, cur)
+		cur, nxt = nxt, cur
+	}
+	return [2]float64{cur[0], nxt[0]}
+}

@@ -1,0 +1,29 @@
+// Package c is the allocfree exemption case: the annotation is opt-in, so
+// an unannotated setup path may allocate freely right next to an annotated
+// kernel — only the kernel is held to the contract.
+package c
+
+// newScratch is the setup path: allocation is its purpose, and it carries
+// no annotation.
+func newScratch(n int) ([]float64, []float64) {
+	return make([]float64, n), make([]float64, n)
+}
+
+// step is the annotated hot path fed by newScratch's buffers.
+//
+//cpsdyn:allocfree
+func step(cur, nxt []float64) {
+	for i := range cur {
+		nxt[i] = 0.5 * cur[i]
+	}
+}
+
+// drive composes them; it allocates via the setup path, unannotated.
+func drive(n, steps int) float64 {
+	cur, nxt := newScratch(n)
+	for k := 0; k < steps; k++ {
+		step(cur, nxt)
+		cur, nxt = nxt, cur
+	}
+	return cur[0]
+}

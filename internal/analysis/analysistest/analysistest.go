@@ -1,0 +1,111 @@
+// Package analysistest runs an analyzer over a testdata package and checks
+// its diagnostics against `// want` comments, mirroring the harness of
+// golang.org/x/tools/go/analysis/analysistest on top of the stdlib-only
+// framework in internal/analysis.
+//
+// Layout: each case is one package directory under the analyzer's
+// testdata/src/, e.g. testdata/src/a/a.go. A line expecting diagnostics
+// carries a trailing comment of quoted regexps:
+//
+//	ctx := context.Background() // want `context\.Background`
+//
+// Every want-pattern must be matched by a diagnostic reported on that line,
+// and every diagnostic must match a want-pattern on its line; anything else
+// fails the test. A package with no want comments asserts the analyzer is
+// silent on it.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"cpsdyn/internal/analysis"
+)
+
+// wantRE matches one backquoted or double-quoted pattern in a want comment.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// Run loads the package rooted at dir (a directory path, typically
+// testdata/src/<case>) and checks a's diagnostics against its want
+// comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := pkg.Run(a)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+		check(t, pkg, diags)
+	}
+}
+
+// key identifies one source line.
+type key struct {
+	file string
+	line int
+}
+
+func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	// Gather expectations: file:line -> want patterns.
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, m := range wantRE.FindAllStringSubmatch(text, -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", posString(pos), pat, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	matched := make(map[key][]bool)
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		ok := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched[k][i] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", posString(pos), d.Message)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+func posString(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+}

@@ -1,0 +1,21 @@
+// Package b is the ctxflow negative case: context-clean library code on
+// which the analyzer must stay silent.
+package b
+
+import "context"
+
+type App struct{}
+
+func (a *App) DeriveContext(ctx context.Context) error { return ctx.Err() }
+
+// Run threads its ctx everywhere; no sibling variants exist to discard.
+func Run(ctx context.Context, a *App) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return a.DeriveContext(ctx)
+}
+
+// NoCtx has no context in scope, so calling a ctx-free helper is fine.
+func NoCtx() int { return helper() }
+
+func helper() int { return 1 }

@@ -1,0 +1,28 @@
+// Package c is the ctxflow annotated-exemption case: legacy wrappers whose
+// whole job is to supply the root context, carrying //cpsdyn:ctx-compat.
+package c
+
+import "context"
+
+type App struct{}
+
+func (a *App) DeriveContext(ctx context.Context) error { return ctx.Err() }
+
+// Derive is the legacy non-context entry point.
+//
+//cpsdyn:ctx-compat public wrapper predating DeriveContext; root context is its contract
+func (a *App) Derive() error {
+	return a.DeriveContext(context.Background())
+}
+
+// Detach deliberately severs a computation from its request's fate.
+//
+//cpsdyn:ctx-compat detached completion is the documented opt-in behaviour
+func Detach(ctx context.Context, a *App) error {
+	return a.Derive()
+}
+
+// unannotated must still be flagged even though its siblings are exempt.
+func unannotated(a *App) error {
+	return a.DeriveContext(context.Background()) // want `context\.Background\(\) in library code`
+}

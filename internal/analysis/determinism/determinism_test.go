@@ -1,0 +1,16 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"cpsdyn/internal/analysis/analysistest"
+	"cpsdyn/internal/analysis/determinism"
+)
+
+func TestPositive(t *testing.T) { analysistest.Run(t, "testdata/src/a", determinism.Analyzer) }
+
+func TestNegative(t *testing.T) { analysistest.Run(t, "testdata/src/b", determinism.Analyzer) }
+
+func TestAnnotatedExemption(t *testing.T) {
+	analysistest.Run(t, "testdata/src/c", determinism.Analyzer)
+}

@@ -1,0 +1,63 @@
+// Package b is the determinism negative case: kernel-shaped code whose map
+// iterations, randomness and fan-out are all order-free or explicitly
+// seeded; the analyzer must stay silent.
+package b
+
+import "math/rand"
+
+// rekey writes into another map keyed by the range key: order-free.
+func rekey(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = 2 * v
+	}
+	return out
+}
+
+// count increments an integer under map iteration: integer addition is
+// associative-commutative, so the result is order-free.
+func count(m map[string]float64, eth float64) int {
+	n := 0
+	for _, v := range m {
+		if v > eth {
+			n++
+		}
+	}
+	return n
+}
+
+// seeded uses an explicitly seeded generator: equal seeds, equal streams.
+func seeded(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}
+
+// indexedFanIn gives every worker its index, so the receiver restores
+// input order no matter the scheduler.
+func indexedFanIn(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	done := make(chan int, len(xs))
+	for i, x := range xs {
+		go func(i int, x float64) {
+			out[i] = x * x
+			done <- i
+		}(i, x)
+	}
+	for range xs {
+		<-done
+	}
+	return out
+}
+
+// sliceAppend ranges a slice, not a map: input order is deterministic.
+func sliceAppend(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+// Package c is the determinism annotated-exemption case: a body whose
+// map-order independence the AST cannot see, declared //cpsdyn:order-invariant
+// with a justification.
+package c
+
+// maxNorm reduces with max, which is order-free over any iteration order —
+// a fact about max the analyzer's accumulator rule cannot prove.
+//
+//cpsdyn:order-invariant max is an order-free reduction
+func maxNorm(m map[string]float64) float64 {
+	peak := 0.0
+	for _, v := range m {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// sum is the same accumulator shape without the annotation and must still
+// be flagged.
+func sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `accumulation into total under a map range`
+	}
+	return total
+}

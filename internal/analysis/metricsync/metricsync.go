@@ -1,0 +1,300 @@
+// Package metricsync pins the PR-4/PR-5 observability contract: every
+// counter surfaced in /statsz has a /metrics emission and vice versa, so
+// the JSON stats page and the Prometheus page never drift apart.
+//
+// The analyzer is annotation-driven, so it fires only in packages that
+// declare the two sides:
+//
+//   - //cpsdyn:statsz-source on the /statsz handler. The analyzer expands
+//     every named struct composite literal in its body — transitively,
+//     through nested structs, pointers and slices — into the set of
+//     counter leaves: exported numeric/bool fields and slice-valued fields
+//     (whose length is the natural gauge), named by their json tags.
+//   - //cpsdyn:metrics-source on the /metrics handler. Every string
+//     literal matching ^cpsdynd_[a-z0-9_]+$ in its body is a metric name.
+//
+// A leaf and a metric match when the leaf's name tokens are a subset of
+// the metric's (prefix and _total suffix stripped): rowsIn matches
+// cpsdynd_stream_rows_in_total. Every leaf must be covered by at least one
+// metric and every metric must cover at least one leaf. Escape hatches,
+// each a visible declaration at the divergence site: a struct field tagged
+// cpsdyn:"statsz-only" needs no metric, and a metric name carrying a
+// //cpsdyn:metrics-only line comment needs no statsz twin.
+//
+// The AST pass cannot see counters built dynamically (a metric name
+// assembled at runtime, say); internal/service's parity test scrapes a
+// live server and applies the same Tokens/Covers matching to close that
+// gap.
+package metricsync
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"regexp"
+	"sort"
+	"strings"
+
+	"cpsdyn/internal/analysis"
+)
+
+// Annotation names and the metric-name shape the analyzer recognises.
+const (
+	StatszDirective      = "statsz-source"
+	MetricsDirective     = "metrics-source"
+	MetricsOnlyDirective = "metrics-only"
+	StatszOnlyTag        = "statsz-only"
+	MetricPrefix         = "cpsdynd_"
+)
+
+var metricNameRE = regexp.MustCompile(`^` + MetricPrefix + `[a-z0-9_]+$`)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "metricsync",
+	Doc:  "every /statsz counter must have a /metrics emission and vice versa",
+	Run:  run,
+}
+
+// Tokens splits a counter or metric name into lower-case tokens on
+// underscores and camelCase boundaries: Tokens("rowsIn") = [rows in],
+// Tokens("stream_rows_in") = [stream rows in].
+func Tokens(name string) []string {
+	var toks []string
+	for _, part := range strings.Split(name, "_") {
+		start := 0
+		for i, r := range part {
+			if i > 0 && r >= 'A' && r <= 'Z' {
+				toks = append(toks, strings.ToLower(part[start:i]))
+				start = i
+			}
+		}
+		if part[start:] != "" {
+			toks = append(toks, strings.ToLower(part[start:]))
+		}
+	}
+	return toks
+}
+
+// MetricBase strips the exposition prefix and the Prometheus _total
+// counter suffix from a metric name: cpsdynd_stream_rows_in_total →
+// stream_rows_in.
+func MetricBase(metric string) string {
+	base := strings.TrimPrefix(metric, MetricPrefix)
+	return strings.TrimSuffix(base, "_total")
+}
+
+// Covers reports whether the metric's token set contains every one of the
+// leaf's tokens — the matching rule shared by this analyzer and the
+// runtime parity test.
+func Covers(metricTokens, leafTokens []string) bool {
+	have := make(map[string]bool, len(metricTokens))
+	for _, t := range metricTokens {
+		have[t] = true
+	}
+	for _, t := range leafTokens {
+		if !have[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// leaf is one counter surfaced in /statsz.
+type leaf struct {
+	path   string // dotted json path, for messages
+	tokens []string
+	pos    token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	var statszFns, metricsFns []*ast.FuncDecl
+	fileOf := make(map[*ast.FuncDecl]*ast.File)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if analysis.FuncDirective(fd, StatszDirective) {
+				statszFns = append(statszFns, fd)
+				fileOf[fd] = file
+			}
+			if analysis.FuncDirective(fd, MetricsDirective) {
+				metricsFns = append(metricsFns, fd)
+				fileOf[fd] = file
+			}
+		}
+	}
+	if len(statszFns) == 0 && len(metricsFns) == 0 {
+		return nil
+	}
+	if len(statszFns) == 0 || len(metricsFns) == 0 {
+		present := append(statszFns, metricsFns...)[0]
+		pass.Reportf(present.Pos(),
+			"metricsync needs both a //cpsdyn:statsz-source and a //cpsdyn:metrics-source function in the package to compare")
+		return nil
+	}
+
+	var leaves []leaf
+	seenPath := make(map[string]bool)
+	for _, fd := range statszFns {
+		visited := make(map[*types.Named]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(cl)
+			if t == nil {
+				return true
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return true
+			}
+			if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+				return true
+			}
+			for _, lf := range expand(named, "", cl.Pos(), visited, 0) {
+				if !seenPath[lf.path] {
+					seenPath[lf.path] = true
+					leaves = append(leaves, lf)
+				}
+			}
+			return true
+		})
+	}
+
+	type metric struct {
+		name   string
+		tokens []string
+		pos    token.Pos
+	}
+	var metrics []metric
+	seenMetric := make(map[string]bool)
+	for _, fd := range metricsFns {
+		file := fileOf[fd]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name := strings.Trim(lit.Value, "`\"")
+			if !metricNameRE.MatchString(name) || seenMetric[name] {
+				return true
+			}
+			seenMetric[name] = true
+			if analysis.LineDirective(pass.Fset, file, lit.Pos(), MetricsOnlyDirective) {
+				return true
+			}
+			metrics = append(metrics, metric{name: name, tokens: Tokens(MetricBase(name)), pos: lit.Pos()})
+			return true
+		})
+	}
+
+	for _, lf := range leaves {
+		covered := false
+		for _, m := range metrics {
+			if Covers(m.tokens, lf.tokens) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			pass.Reportf(lf.pos,
+				"statsz counter %q has no /metrics emission (no %s* name contains tokens %v); emit one or tag the field `cpsdyn:\"statsz-only\"`",
+				lf.path, MetricPrefix, lf.tokens)
+		}
+	}
+	for _, m := range metrics {
+		covered := false
+		for _, lf := range leaves {
+			if Covers(m.tokens, lf.tokens) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			pass.Reportf(m.pos,
+				"metric %q has no /statsz counter twin; surface it in the statsz response or mark it //cpsdyn:metrics-only",
+				m.name)
+		}
+	}
+	return nil
+}
+
+// expand walks a named struct type and returns its counter leaves. prefix
+// is the dotted json path so far.
+func expand(named *types.Named, prefix string, pos token.Pos, visited map[*types.Named]bool, depth int) []leaf {
+	if visited[named] || depth > 6 {
+		return nil
+	}
+	visited[named] = true
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var leaves []leaf
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		tag := reflect.StructTag(st.Tag(i))
+		if tag.Get("cpsdyn") == StatszOnlyTag {
+			continue
+		}
+		name, _, _ := strings.Cut(tag.Get("json"), ",")
+		if name == "-" {
+			continue
+		}
+		if name == "" {
+			name = f.Name()
+		}
+		path := name
+		if prefix != "" {
+			path = prefix + "." + name
+		}
+		switch t := f.Type().Underlying().(type) {
+		case *types.Basic:
+			if t.Info()&(types.IsNumeric|types.IsBoolean) != 0 {
+				leaves = append(leaves, leaf{path: path, tokens: Tokens(name), pos: pos})
+			}
+		case *types.Slice, *types.Array:
+			// A slice field's length is its gauge; element structs carry
+			// further counters.
+			leaves = append(leaves, leaf{path: path, tokens: Tokens(name), pos: pos})
+			var elem types.Type
+			if s, ok := t.(*types.Slice); ok {
+				elem = s.Elem()
+			} else {
+				elem = t.(*types.Array).Elem()
+			}
+			if n := namedStruct(elem); n != nil {
+				leaves = append(leaves, expand(n, path, pos, visited, depth+1)...)
+			}
+		case *types.Struct, *types.Pointer:
+			if n := namedStruct(f.Type()); n != nil {
+				leaves = append(leaves, expand(n, path, pos, visited, depth+1)...)
+			}
+		}
+	}
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i].path < leaves[j].path })
+	return leaves
+}
+
+// namedStruct unwraps pointers and returns t as a named struct type, or nil.
+func namedStruct(t types.Type) *types.Named {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}

@@ -1,0 +1,50 @@
+package metricsync_test
+
+import (
+	"testing"
+
+	"cpsdyn/internal/analysis/analysistest"
+	"cpsdyn/internal/analysis/metricsync"
+)
+
+func TestPositive(t *testing.T) { analysistest.Run(t, "testdata/src/a", metricsync.Analyzer) }
+
+func TestNegative(t *testing.T) { analysistest.Run(t, "testdata/src/b", metricsync.Analyzer) }
+
+func TestAnnotatedExemption(t *testing.T) {
+	analysistest.Run(t, "testdata/src/c", metricsync.Analyzer)
+}
+
+func TestTokens(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"rowsIn", "rows in"},
+		{"stream_rows_in", "stream rows in"},
+		{"maxInFlight", "max in flight"},
+		{"peers", "peers"},
+		{"streamCancelled", "stream cancelled"},
+	}
+	for _, c := range cases {
+		got := ""
+		for i, tok := range metricsync.Tokens(c.in) {
+			if i > 0 {
+				got += " "
+			}
+			got += tok
+		}
+		if got != c.want {
+			t.Errorf("Tokens(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if metricsync.MetricBase("cpsdynd_stream_rows_in_total") != "stream_rows_in" {
+		t.Errorf("MetricBase: got %q", metricsync.MetricBase("cpsdynd_stream_rows_in_total"))
+	}
+	if !metricsync.Covers(metricsync.Tokens("stream_rows_in"), metricsync.Tokens("rowsIn")) {
+		t.Error("stream_rows_in should cover rowsIn")
+	}
+	if metricsync.Covers(metricsync.Tokens("peers"), metricsync.Tokens("peerRows")) {
+		t.Error("peers should not cover peerRows")
+	}
+}

@@ -1,0 +1,45 @@
+// Package a exercises the metricsync positive cases: drift in both
+// directions between the statsz structs and the metric emissions.
+package a
+
+import "fmt"
+
+type cacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+type serverStats struct {
+	Requests uint64 `json:"requests"`
+	TimedOut uint64 `json:"timedOut"` // drifted: no cpsdynd_timed_out metric below
+}
+
+type statszResponse struct {
+	Cache  cacheStats  `json:"cache"`
+	Server serverStats `json:"server"`
+}
+
+func snapshot() statszResponse { return statszResponse{} }
+
+// handleStatsz is the JSON side.
+//
+//cpsdyn:statsz-source
+func handleStatsz() string {
+	resp := statszResponse{Cache: cacheStats{}, Server: serverStats{}} // want `statsz counter "server.timedOut" has no /metrics emission`
+	return fmt.Sprint(resp)
+}
+
+// handleMetrics is the Prometheus side; it emits an orphan metric and
+// misses timedOut.
+//
+//cpsdyn:metrics-source
+func handleMetrics() string {
+	out := ""
+	out += metric("cpsdynd_cache_hits_total", 1)
+	out += metric("cpsdynd_cache_misses_total", 2)
+	out += metric("cpsdynd_requests_total", 3)
+	out += metric("cpsdynd_orphan_total", 4) // want `metric "cpsdynd_orphan_total" has no /statsz counter twin`
+	return out
+}
+
+func metric(name string, v float64) string { return fmt.Sprintf("%s %g\n", name, v) }

@@ -1,0 +1,40 @@
+// Package b is the metricsync negative case: both pages cover the same
+// counter set, including a camelCase tag matched to a longer snake name
+// and a nested slice whose length is a gauge; the analyzer must stay
+// silent.
+package b
+
+import "fmt"
+
+type peerStats struct {
+	Name string `json:"name"` // strings are not counters
+	Down bool   `json:"down"`
+	Rows uint64 `json:"rows"`
+}
+
+type gatewayStats struct {
+	Peers    []peerStats `json:"peers"`
+	PeerRows uint64      `json:"peerRows"`
+}
+
+type statszResponse struct {
+	RowsIn  uint64        `json:"rowsIn"`
+	Gateway *gatewayStats `json:"gateway,omitempty"`
+}
+
+//cpsdyn:statsz-source
+func handleStatsz() string {
+	return fmt.Sprint(statszResponse{})
+}
+
+//cpsdyn:metrics-source
+func handleMetrics() string {
+	out := ""
+	out += metric("cpsdynd_stream_rows_in_total", 1) // covers rowsIn
+	out += metric("cpsdynd_peers", 2)                // covers the peers slice length
+	out += metric("cpsdynd_peers_down", 3)           // covers peers[].down
+	out += metric("cpsdynd_peer_rows_total", 4)      // covers peerRows and peers[].rows
+	return out
+}
+
+func metric(name string, v float64) string { return fmt.Sprintf("%s %g\n", name, v) }

@@ -1,0 +1,30 @@
+// Package c is the metricsync annotated-exemption case: a statsz-only
+// field declared via struct tag and a metrics-only emission declared via
+// line comment are both legitimate one-sided counters; undeclared drift
+// next to them is still caught.
+package c
+
+import "fmt"
+
+type statszResponse struct {
+	Requests uint64 `json:"requests"`
+	// Workers is configuration echo, deliberately not a metric.
+	Workers int `json:"workers" cpsdyn:"statsz-only"`
+	// Dropped drifted: neither tagged nor emitted.
+	Dropped uint64 `json:"dropped"`
+}
+
+//cpsdyn:statsz-source
+func handleStatsz() string {
+	return fmt.Sprint(statszResponse{}) // want `statsz counter "dropped" has no /metrics emission`
+}
+
+//cpsdyn:metrics-source
+func handleMetrics() string {
+	out := ""
+	out += metric("cpsdynd_requests_total", 1)
+	out += metric("cpsdynd_build_info", 2) //cpsdyn:metrics-only build stamp has no JSON twin by design
+	return out
+}
+
+func metric(name string, v float64) string { return fmt.Sprintf("%s %g\n", name, v) }
