@@ -11,10 +11,19 @@ import (
 	"cpsdyn/internal/switching"
 )
 
-// ServoApp returns the Fig.-2/Fig.-3 servo experiment: the inverted-
+// ServoApp wraps ServoAppContext for callers without a context.
+//
+//cpsdyn:ctx-compat legacy convenience entry point; the process-wide sharedServo cache and the offline CLIs own no request context
+func ServoApp() (*core.Application, error) {
+	return ServoAppContext(context.Background())
+}
+
+// ServoAppContext returns the Fig.-2/Fig.-3 servo experiment: the inverted-
 // pendulum servo with h = 20 ms, TT delay 0.7 ms, worst-case ET delay
 // 20 ms and Eth = 0.1, calibrated so the pure-mode response times approach
-// the paper's ξTT = 0.68 s and ξET = 2.16 s.
+// the paper's ξTT = 0.68 s and ξET = 2.16 s. A ctx expiry aborts the
+// calibration search promptly, so a budgeted or disconnected caller cannot
+// strand ~1 s of bisection probes.
 //
 // Substitution note: the paper disturbs the physical rig by displacing the
 // load 45° and lets the (saturating, nonlinear) hardware produce the Fig.-3
@@ -22,7 +31,7 @@ import (
 // impulsive angular-velocity disturbance (a shove of the load); the
 // switching mechanism of eqs. (3)–(4) — the ET phase converting cheap
 // velocity error into expensive angle error — is identical.
-func ServoApp() (*core.Application, error) {
+func ServoAppContext(ctx context.Context) (*core.Application, error) {
 	app := &core.Application{
 		Name:     "servo",
 		Plant:    plants.Servo(),
@@ -35,7 +44,7 @@ func ServoApp() (*core.Application, error) {
 		Deadline: 3,
 		FrameID:  1,
 	}
-	if err := Calibrate(context.Background(), app, 0.68, 2.16, 0); err != nil {
+	if err := Calibrate(ctx, app, 0.68, 2.16, 0); err != nil {
 		return nil, fmt.Errorf("casestudy: servo calibration: %w", err)
 	}
 	return app, nil
