@@ -11,7 +11,11 @@ import (
 
 // handleMetrics serves the /statsz counters in Prometheus text exposition
 // format (version 0.0.4), hand-rolled so fleet dashboards can scrape
-// cpsdynd without this module growing a client-library dependency.
+// cpsdynd without this module growing a client-library dependency. It is
+// the Prometheus twin of handleStatsz; the metricsync analyzer and
+// TestStatszMetricsParity both hold the two counter sets together.
+//
+//cpsdyn:metrics-source
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	cache := core.DeriveCacheStats()
 	srv := s.Stats()
@@ -58,10 +62,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if s.gw != nil {
 		gst := s.gw.Stats()
 		down := 0
+		var failures uint64
 		for _, p := range gst.Peers {
 			if p.Down {
 				down++
 			}
+			failures += p.Failures
 		}
 		metric("cpsdynd_peers", "gauge",
 			"Replica peers configured in sharding-gateway mode.", float64(len(gst.Peers)))
@@ -71,6 +77,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			"Derive rows answered by replica peers.", float64(gst.PeerRows))
 		metric("cpsdynd_peer_fallbacks_total", "counter",
 			"Derive rows computed locally because a peer was down or slow.", float64(gst.PeerFallbacks))
+		metric("cpsdynd_peer_failures_total", "counter",
+			"Failed peer calls summed over all peers (each failure trips the breaker closer to open).", float64(failures))
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

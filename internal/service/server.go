@@ -221,6 +221,10 @@ type StatszResponse struct {
 	Gateway  *cluster.Stats  `json:"gateway,omitempty"`
 }
 
+// handleStatsz is the JSON twin of handleMetrics; the metricsync analyzer
+// and TestStatszMetricsParity both hold the two counter sets together.
+//
+//cpsdyn:statsz-source
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	resp := StatszResponse{
 		Cache:    core.DeriveCacheStats(),
