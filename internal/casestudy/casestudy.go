@@ -209,6 +209,8 @@ func fleetSpecs() []fleetSpec {
 // Fleet builds the six measured-mode applications with controllers
 // calibrated so that (ξTT, ξET) approach the Table I targets. See
 // FleetContext for the cancellable variant this wraps.
+//
+//cpsdyn:ctx-compat legacy convenience entry point for the offline CLIs and benchmarks, which own no request context
 func Fleet() ([]*core.Application, error) {
 	return FleetContext(context.Background())
 }
@@ -376,6 +378,8 @@ func searchRho(ctx context.Context, measure func(ctx context.Context, rho float6
 
 // DeriveFleet calibrates and derives all six measured-mode applications
 // through the concurrent fleet engine (default worker count).
+//
+//cpsdyn:ctx-compat legacy convenience entry point feeding the process-wide SharedFleet cache, whose lifetime is the process, not one request
 func DeriveFleet() ([]*core.Derived, error) {
 	return DeriveFleetContext(context.Background())
 }

@@ -122,6 +122,8 @@ feed:
 // src blocked in an uninterruptible read (a network body, say) delays that
 // return, so a caller cancelling the stream must also arrange for the
 // blocked read to fail (a read deadline, closing the underlying reader).
+//
+//cpsdyn:ctx-compat the Background here only substitutes for a nil ctx argument — the caller explicitly declined cancellation; a real ctx is threaded untouched
 func StreamOrdered[T, R any](ctx context.Context, workers, window int, src iter.Seq[T], fn func(ctx context.Context, i int, item T) R, emit func(i int, r R) error) error {
 	if ctx == nil {
 		ctx = context.Background()

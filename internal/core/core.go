@@ -121,6 +121,8 @@ type Derived struct {
 // cached intermediates are shared between Derived values and must not be
 // mutated. On a cache miss the dwell-curve sampling itself fans out across
 // the worker pool configured by SetCurveSamplingWorkers.
+//
+//cpsdyn:ctx-compat legacy convenience entry point for the offline CLIs and examples; cancellable callers use DeriveContext
 func (a *Application) Derive() (*Derived, error) {
 	return a.DeriveContext(context.Background())
 }
@@ -199,6 +201,8 @@ func (a *Application) designGain(disc *lti.Discrete, poles []complex128, q, r *m
 // settling times (seconds) without sampling the full dwell curve. It is the
 // cheap inner loop for calibrating controller designs against target
 // response times (as the case study does to approach Table I).
+//
+//cpsdyn:ctx-compat legacy convenience entry point for offline calibration; cancellable callers use ProbeSettleContext
 func (a *Application) ProbeSettle() (xiTT, xiET float64, err error) {
 	return a.ProbeSettleContext(context.Background())
 }

@@ -189,6 +189,8 @@ func (m *Matrix) MulVec(v []float64) []float64 {
 // MulVecTo computes dst = m·v without allocating; dst must have length
 // m.Rows() and must not alias v. It is the inner kernel of the settling
 // simulations, which step the same tiny matrix tens of thousands of times.
+//
+//cpsdyn:allocfree the "without allocating" contract above, made machine-checked (TestMulVecTo additionally pins it with AllocsPerRun)
 func (m *Matrix) MulVecTo(dst, v []float64) {
 	if m.cols != len(v) {
 		panic(fmt.Sprintf("mat: MulVecTo shape mismatch %d×%d · %d", m.rows, m.cols, len(v)))
@@ -385,6 +387,8 @@ func (m *Matrix) String() string {
 }
 
 // VecNorm2 returns the Euclidean norm of v.
+//
+//cpsdyn:allocfree called once per simulated step through System.Norm
 func VecNorm2(v []float64) float64 {
 	s := 0.0
 	for _, x := range v {

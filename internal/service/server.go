@@ -277,6 +277,8 @@ func isCancellation(err error) bool {
 // promptly and releases its slot instead of burning CPU for an answer
 // nobody will read. Config.CompleteInBackground restores the old detached
 // behaviour (the abandoned computation finishes and warms the cache).
+//
+//cpsdyn:ctx-compat the Background is the documented -complete-background mode: detaching the computation from the request's fate is the feature, not an oversight
 func (s *Server) compute(fn endpoint) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		body, status, err := readBody(r, s.cfg.MaxBodyBytes)

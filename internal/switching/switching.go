@@ -77,6 +77,8 @@ func (s *System) normDims() int {
 }
 
 // Norm returns the threshold norm ‖x‖ of a state (plant sub-norm).
+//
+//cpsdyn:allocfree called once per simulated step on the settle hot path
 func (s *System) Norm(x []float64) float64 {
 	return mat.VecNorm2(x[:s.normDims()])
 }
@@ -107,6 +109,8 @@ func newScratch(n int) *scratch {
 // x0 satisfies ‖x[j]‖ ≤ Eth for all j ∈ [k, horizon]. The state is stepped
 // in sc's buffers (x0 may alias sc.cur); a nil ctx disables cancellation
 // checks, a cancelled ctx aborts mid-run with its error.
+//
+//cpsdyn:allocfree the dwell-curve sampler calls this tens of thousands of times per curve; an allocation here shows up directly in BenchmarkSampleCurve
 func (s *System) settle(ctx context.Context, a *mat.Matrix, x0 []float64, horizon int, sc *scratch) (int, bool, error) {
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
