@@ -1,0 +1,168 @@
+package service
+
+import (
+	"bufio"
+	"net/http"
+	"strings"
+	"testing"
+
+	"cpsdyn/internal/analysis/metricsync"
+)
+
+// The metricsync analyzer pins /statsz↔/metrics parity at the AST level;
+// this test closes its declared gap by scraping a live server and applying
+// the same Tokens/Covers matching to what is actually served, so counters
+// assembled in ways the AST cannot see still cannot drift.
+
+// statszOnlyLeaves mirrors the `cpsdyn:"statsz-only"` struct tags: leaves
+// deliberately absent from /metrics. Keep the two lists in sync — the
+// analyzer enforces the tags, this test enforces the wire.
+var statszOnlyLeaves = map[string]bool{}
+
+// metricsOnlyNames mirrors the //cpsdyn:metrics-only line directives:
+// metrics deliberately absent from /statsz.
+var metricsOnlyNames = map[string]bool{}
+
+// statszLeaves flattens a decoded /statsz body into counter leaves keyed by
+// dotted path, each with the token set of its final key — the same leaf
+// shape the metricsync analyzer derives from the struct types: numbers and
+// bools are leaves, arrays are a length gauge plus their elements, strings
+// are identity, not counters.
+func statszLeaves(prefix string, v any, out map[string][]string) {
+	switch v := v.(type) {
+	case map[string]any:
+		for k, e := range v {
+			path := k
+			if prefix != "" {
+				path = prefix + "." + k
+			}
+			switch e := e.(type) {
+			case float64, bool:
+				out[path] = metricsync.Tokens(k)
+			case map[string]any, []any:
+				if _, ok := e.([]any); ok {
+					out[path] = metricsync.Tokens(k)
+				}
+				statszLeaves(path, e, out)
+			}
+		}
+	case []any:
+		for _, e := range v {
+			statszLeaves(prefix, e, out)
+		}
+	}
+}
+
+// scrapeMetricNames returns every cpsdynd_* series name on /metrics.
+func scrapeMetricNames(t *testing.T, url string) map[string][]string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	names := make(map[string][]string)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, _, ok := strings.Cut(line, " ")
+		if !ok || !strings.HasPrefix(name, metricsync.MetricPrefix) {
+			continue
+		}
+		names[name] = metricsync.Tokens(metricsync.MetricBase(name))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+func scrapeStatszLeaves(t *testing.T, url string) map[string][]string {
+	t.Helper()
+	var body map[string]any
+	if code := getJSON(t, url+"/statsz", &body); code != http.StatusOK {
+		t.Fatalf("/statsz status = %d", code)
+	}
+	leaves := make(map[string][]string)
+	statszLeaves("", body, leaves)
+	return leaves
+}
+
+// assertParity holds the two scraped counter sets together, both ways.
+func assertParity(t *testing.T, leaves, metrics map[string][]string) {
+	t.Helper()
+	for path, ltoks := range leaves {
+		if statszOnlyLeaves[path] {
+			continue
+		}
+		covered := false
+		for _, mtoks := range metrics {
+			if metricsync.Covers(mtoks, ltoks) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("statsz counter %q (tokens %v) served with no covering /metrics series", path, ltoks)
+		}
+	}
+	for name, mtoks := range metrics {
+		if metricsOnlyNames[name] {
+			continue
+		}
+		covered := false
+		for _, ltoks := range leaves {
+			if metricsync.Covers(mtoks, ltoks) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("metric %q served with no /statsz counter twin", name)
+		}
+	}
+}
+
+func TestStatszMetricsParity(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	// Exercise a derive first so the counters carry non-zero values — a
+	// handler that only emits a series on activity would otherwise hide.
+	code, _ := postJSON(t, ts.URL+"/v1/derive", servoDeriveRequest(1))
+	if code != http.StatusOK {
+		t.Fatalf("derive status = %d", code)
+	}
+	assertParity(t, scrapeStatszLeaves(t, ts.URL), scrapeMetricNames(t, ts.URL))
+}
+
+func TestStatszMetricsParityGateway(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a 2-replica cluster")
+	}
+	gw, _ := newGatewayCluster(t, 2, Config{})
+	code, _ := postJSON(t, gw.URL+"/v1/derive", shardedDeriveRequest(4))
+	if code != http.StatusOK {
+		t.Fatalf("derive status = %d", code)
+	}
+	leaves := scrapeStatszLeaves(t, gw.URL)
+	if _, ok := leaves["gateway.peers"]; !ok {
+		t.Fatal("gateway statsz block missing — cluster fixture broken")
+	}
+	assertParity(t, leaves, scrapeMetricNames(t, gw.URL))
+}
+
+// The gateway-only series must really be absent on a plain server rather
+// than served as zeros, matching the omitempty gateway statsz block.
+func TestPlainServerServesNoGatewaySeries(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for name := range scrapeMetricNames(t, ts.URL) {
+		if strings.HasPrefix(name, "cpsdynd_peer") {
+			t.Errorf("plain server serves gateway series %q", name)
+		}
+	}
+}
