@@ -116,4 +116,41 @@
 // /metrics expose per-peer health plus peerRows and peerFallbacks, and a
 // replica's effective workers/streamWindow capacity is introspectable over
 // its own /statsz.
+//
+// # Enforced invariants
+//
+// Four project invariants are machine-checked by the internal/analysis
+// suite, run as a blocking CI gate via cmd/cpsdynlint:
+//
+//   - Context flow (ctxflow): library code under internal/ neither mints
+//     context.Background()/TODO() nor, holding a ctx, calls a non-context
+//     variant that discards it — cancellation threads end to end, which is
+//     what makes the service's compute budgets actually stop work.
+//   - Allocation-free kernels (allocfree): functions on the simulation hot
+//     path declare themselves allocation-free and the analyzer holds them
+//     to it (no make/new/append, no map or slice literals, no closures).
+//   - Determinism (determinism): the kernel packages (internal/mat,
+//     switching, lti, sim, pwl) produce byte-identical output at any
+//     worker count — no ordered writes under map iteration, no wall clock
+//     or process-global rand, no unindexed goroutine fan-in. This is the
+//     contract the cache keys, the streaming golden diffs and the cluster
+//     sharding all rest on.
+//   - Observability parity (metricsync): every counter in the /statsz JSON
+//     has a /metrics Prometheus twin and vice versa, statically at the AST
+//     level and dynamically by internal/service's scrape-based parity test.
+//
+// Deliberate exceptions are declared where they occur, never in a central
+// allowlist, using //cpsdyn: directives (each carrying its justification
+// inline):
+//
+//	//cpsdyn:ctx-compat <why>     on a function: may use context.Background
+//	//cpsdyn:allocfree <why>      on a function: body must not allocate
+//	//cpsdyn:order-invariant <why> on a function: exempt from determinism
+//	//cpsdyn:statsz-source        on the /statsz handler (metricsync input)
+//	//cpsdyn:metrics-source       on the /metrics handler (metricsync input)
+//	//cpsdyn:metrics-only <why>   line comment: metric with no JSON twin
+//	cpsdyn:"statsz-only"          struct tag: JSON counter with no metric
+//
+// See internal/analysis/README.md for the analyzer framework and how to
+// add a check.
 package cpsdyn
