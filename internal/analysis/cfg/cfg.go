@@ -1,0 +1,452 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies and runs forward worklist dataflow over them. It is the
+// path-sensitivity layer under the lockguard and goroleak analyzers: where
+// the PR-6 analyzers pattern-matched single statements, a CFG lets an
+// analyzer prove per-path properties ("this lock is released on every path
+// to return", "a join is reachable from this go statement").
+//
+// Like the parent framework the package is stdlib-only and mirrors the
+// shapes of golang.org/x/tools/go/cfg where that makes a later port
+// mechanical: a Graph of basic Blocks whose first block is the entry,
+// succ edges for branches, loops, switches, selects and labeled branch
+// statements, and no explicit exit node — a live block without successors
+// is a function exit (return, panic, or falling off the end).
+//
+// Blocks hold only shallow nodes: simple statements and the guard
+// expressions of control statements. A compound statement's sub-statements
+// are distributed into their own blocks, so an analyzer may ast.Inspect a
+// block's Nodes without ever seeing the same statement twice (function
+// literals are the one subtree to prune — they are separate functions).
+// Head blocks of range and select statements additionally carry the
+// governing statement in Block.Stmt for position and type queries; its
+// children are never duplicated into Nodes.
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// A Block is one basic block.
+type Block struct {
+	Index int    // position in Graph.Blocks
+	Kind  string // e.g. "entry", "if.then", "for.head", "select.case", "unreachable"
+
+	// Stmt is the governing control statement of head blocks: the
+	// *ast.ForStmt of a "for.head", the *ast.RangeStmt of a "range.head",
+	// the *ast.SelectStmt of a "select.head". It is carried for position
+	// and type queries only — analyzers must not walk it, because its
+	// sub-statements live in other blocks.
+	Stmt ast.Stmt
+
+	// Nodes are the block's shallow nodes in execution order: simple
+	// statements plus guard expressions (an if condition, a switch tag, a
+	// for condition, a ranged expression in the preceding block).
+	Nodes []ast.Node
+
+	Succs []*Block // successor edges in source order
+	Live  bool     // reachable from the entry block
+}
+
+// A Graph is the control-flow graph of one function body. Blocks[0] is the
+// entry; a live block with no successors is a function exit.
+type Graph struct {
+	Blocks []*Block
+}
+
+// New builds the control-flow graph of body. The builder handles if, for
+// (three-clause and range), switch, type switch, select, defer (recorded in
+// place; the deferred call is an ordinary node), go, labeled statements,
+// break/continue (labeled and bare), goto and fallthrough. Statements after
+// a terminator land in blocks flagged dead (Live == false).
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{
+		g:      &Graph{},
+		labels: make(map[string]*Block),
+	}
+	b.cur = b.newBlock("entry")
+	b.stmtList(body.List)
+	// Liveness: breadth-first from the entry.
+	seen := make([]bool, len(b.g.Blocks))
+	queue := []*Block{b.g.Blocks[0]}
+	seen[0] = true
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		blk.Live = true
+		for _, s := range blk.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return b.g
+}
+
+// frame is one enclosing breakable/continuable statement.
+type frame struct {
+	label string
+	brk   *Block // break target
+	cont  *Block // continue target; nil for switch and select
+}
+
+type builder struct {
+	g            *Graph
+	cur          *Block // nil after a terminator until the next statement
+	frames       []frame
+	labels       map[string]*Block // goto/label targets, created on first use
+	fall         *Block            // fallthrough target inside a switch case
+	pendingLabel string            // label to attach to the next loop/switch/select frame
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// block returns the current block, opening an unreachable one if the
+// previous statement terminated control flow.
+func (b *builder) block() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	return b.cur
+}
+
+func (b *builder) add(n ast.Node) {
+	blk := b.block()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+// jump adds an edge from the current block (if control can reach here).
+func (b *builder) jump(to *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, to)
+	}
+}
+
+// labelBlock returns (creating on demand) the block a label names, shared
+// by goto statements and the labeled statement itself.
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the frame of the statement
+// being built.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, b.takeLabel())
+	case *ast.RangeStmt:
+		b.rangeStmt(s, b.takeLabel())
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body, b.takeLabel())
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body, b.takeLabel())
+	case *ast.SelectStmt:
+		b.selectStmt(s, b.takeLabel())
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.jump(lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanic(s.X) {
+			b.cur = nil
+		}
+	case *ast.EmptyStmt:
+		// no node
+	default:
+		// Assignments, declarations, sends, go, defer, inc/dec: plain
+		// shallow nodes.
+		b.add(s)
+	}
+}
+
+// isPanic reports whether e is a call to the panic builtin (syntactic; a
+// shadowed panic is treated the same, which only over-approximates exits).
+func isPanic(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.block()
+	then := b.newBlock("if.then")
+	var els *Block
+	if s.Else != nil {
+		els = b.newBlock("if.else")
+	}
+	done := b.newBlock("if.done")
+	cond.Succs = append(cond.Succs, then)
+	if els != nil {
+		cond.Succs = append(cond.Succs, els)
+	} else {
+		cond.Succs = append(cond.Succs, done)
+	}
+	b.cur = then
+	b.stmtList(s.Body.List)
+	b.jump(done)
+	if els != nil {
+		b.cur = els
+		b.stmt(s.Else)
+		b.jump(done)
+	}
+	b.cur = done
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head")
+	head.Stmt = s
+	b.jump(head)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+	}
+	body := b.newBlock("for.body")
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+	}
+	done := b.newBlock("for.done")
+	head.Succs = append(head.Succs, body)
+	if s.Cond != nil {
+		head.Succs = append(head.Succs, done)
+	}
+	cont := head
+	if post != nil {
+		cont = post
+	}
+	b.frames = append(b.frames, frame{label: label, brk: done, cont: cont})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.jump(cont)
+	b.frames = b.frames[:len(b.frames)-1]
+	if post != nil {
+		b.cur = post
+		b.add(s.Post)
+		b.jump(head)
+	}
+	b.cur = done
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	// The ranged expression is evaluated once, in the entering block; the
+	// head then performs one element fetch (for a channel: one receive)
+	// per iteration.
+	b.add(s.X)
+	head := b.newBlock("range.head")
+	head.Stmt = s
+	b.jump(head)
+	body := b.newBlock("range.body")
+	done := b.newBlock("range.done")
+	head.Succs = append(head.Succs, body, done)
+	b.frames = append(b.frames, frame{label: label, brk: done, cont: head})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.jump(head)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+// switchStmt builds both expression switches (tag non-nil) and type
+// switches (assign non-nil).
+func (b *builder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, label string) {
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.block()
+	b.cur = nil
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		kind := "switch.case"
+		if c.List == nil {
+			kind = "switch.default"
+			hasDefault = true
+		}
+		blocks[i] = b.newBlock(kind)
+	}
+	done := b.newBlock("switch.done")
+	for _, blk := range blocks {
+		head.Succs = append(head.Succs, blk)
+	}
+	if !hasDefault {
+		head.Succs = append(head.Succs, done)
+	}
+	b.frames = append(b.frames, frame{label: label, brk: done})
+	outerFall := b.fall
+	for i, c := range clauses {
+		b.cur = blocks[i]
+		for _, e := range c.List {
+			b.cur.Nodes = append(b.cur.Nodes, e)
+		}
+		if i+1 < len(clauses) {
+			b.fall = blocks[i+1]
+		} else {
+			b.fall = nil
+		}
+		b.stmtList(c.Body)
+		b.jump(done)
+	}
+	b.fall = outerFall
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.newBlock("select.head")
+	head.Stmt = s
+	b.jump(head)
+	b.cur = nil
+	var clauses []*ast.CommClause
+	for _, c := range s.Body.List {
+		clauses = append(clauses, c.(*ast.CommClause))
+	}
+	blocks := make([]*Block, len(clauses))
+	for i, c := range clauses {
+		kind := "select.case"
+		if c.Comm == nil {
+			kind = "select.default"
+		}
+		blocks[i] = b.newBlock(kind)
+	}
+	done := b.newBlock("select.done")
+	for _, blk := range blocks {
+		head.Succs = append(head.Succs, blk)
+	}
+	// A select with no clauses blocks forever: head keeps no successors.
+	b.frames = append(b.frames, frame{label: label, brk: done})
+	for i, c := range clauses {
+		b.cur = blocks[i]
+		if c.Comm != nil {
+			b.cur.Nodes = append(b.cur.Nodes, c.Comm)
+		}
+		b.stmtList(c.Body)
+		b.jump(done)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if label == "" || f.label == label {
+				b.jump(f.brk)
+				break
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.cont != nil && (label == "" || f.label == label) {
+				b.jump(f.cont)
+				break
+			}
+		}
+	case token.GOTO:
+		if label != "" {
+			b.jump(b.labelBlock(label))
+		}
+	case token.FALLTHROUGH:
+		if b.fall != nil {
+			b.jump(b.fall)
+		}
+	}
+	b.cur = nil
+}
+
+// Dump renders the graph in a stable, golden-testable text form: one header
+// line per block (index, kind, successor indices, dead marker) followed by
+// its nodes printed one per line with whitespace collapsed.
+func (g *Graph) Dump(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s", b.Index, b.Kind)
+		if len(b.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range b.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		if !b.Live {
+			sb.WriteString(" (dead)")
+		}
+		sb.WriteByte('\n')
+		for _, n := range b.Nodes {
+			fmt.Fprintf(&sb, "\t%s\n", printNode(fset, n))
+		}
+	}
+	return sb.String()
+}
+
+func printNode(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}

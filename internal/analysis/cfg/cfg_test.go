@@ -1,0 +1,429 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses one function body given as source statements.
+func parseBody(t *testing.T, body string) (*token.FileSet, *ast.BlockStmt) {
+	t.Helper()
+	fset := token.NewFileSet()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	file, err := parser.ParseFile(fset, "fixture.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v\n%s", err, src)
+	}
+	return fset, file.Decls[0].(*ast.FuncDecl).Body
+}
+
+// fixtures are shared by the golden dump tests and the structural property
+// test. Goldens pin the block/edge shape of every control construct the
+// builder handles.
+var fixtures = []struct {
+	name, body, golden string
+}{
+	{
+		name: "if",
+		body: `
+x := 0
+if x > 0 {
+	x++
+} else {
+	x--
+}
+return x`,
+		golden: `b0 entry -> b1 b2
+	x := 0
+	x > 0
+b1 if.then -> b3
+	x++
+b2 if.else -> b3
+	x--
+b3 if.done
+	return x`,
+	},
+	{
+		name: "for",
+		body: `
+s := 0
+for i := 0; i < 10; i++ {
+	s += i
+}
+return s`,
+		golden: `b0 entry -> b1
+	s := 0
+	i := 0
+b1 for.head -> b2 b4
+	i < 10
+b2 for.body -> b3
+	s += i
+b3 for.post -> b1
+	i++
+b4 for.done
+	return s`,
+	},
+	{
+		name: "switch",
+		body: `
+switch x := f(); x {
+case 1:
+	g()
+	fallthrough
+case 2:
+	h()
+default:
+	return
+}
+g()`,
+		golden: `b0 entry -> b1 b2 b3
+	x := f()
+	x
+b1 switch.case -> b2
+	1
+	g()
+	fallthrough
+b2 switch.case -> b4
+	2
+	h()
+b3 switch.default
+	return
+b4 switch.done
+	g()`,
+	},
+	{
+		name: "select",
+		body: `
+select {
+case v := <-a:
+	g(v)
+case b <- 1:
+default:
+	h()
+}`,
+		golden: `b0 entry -> b1
+b1 select.head -> b2 b3 b4
+b2 select.case -> b5
+	v := <-a
+	g(v)
+b3 select.case -> b5
+	b <- 1
+b4 select.default -> b5
+	h()
+b5 select.done`,
+	},
+	{
+		name: "defer",
+		body: `
+mu.Lock()
+defer mu.Unlock()
+if c {
+	return
+}
+g()`,
+		golden: `b0 entry -> b1 b2
+	mu.Lock()
+	defer mu.Unlock()
+	c
+b1 if.then
+	return
+b2 if.done
+	g()`,
+	},
+	{
+		name: "labeled-break",
+		body: `
+outer:
+for {
+	for i := range xs {
+		if xs[i] == 0 {
+			break outer
+		}
+		g(i)
+	}
+}
+return`,
+		golden: `b0 entry -> b1
+b1 label.outer -> b2
+b2 for.head -> b3
+b3 for.body -> b5
+	xs
+b4 for.done
+	return
+b5 range.head -> b6 b7
+b6 range.body -> b8 b9
+	xs[i] == 0
+b7 range.done -> b2
+b8 if.then -> b4
+	break outer
+b9 if.done -> b5
+	g(i)`,
+	},
+	{
+		name: "goto-and-unreachable",
+		body: `
+	g()
+	goto done
+	h()
+done:
+	return`,
+		golden: `b0 entry -> b1
+	g()
+	goto done
+b1 label.done
+	return
+b2 unreachable -> b1 (dead)
+	h()`,
+	},
+	{
+		name: "labeled-continue",
+		body: `
+loop:
+for i := 0; i < n; i++ {
+	for range ch {
+		continue loop
+	}
+}`,
+		golden: `b0 entry -> b1
+b1 label.loop -> b2
+	i := 0
+b2 for.head -> b3 b5
+	i < n
+b3 for.body -> b6
+	ch
+b4 for.post -> b2
+	i++
+b5 for.done
+b6 range.head -> b7 b8
+b7 range.body -> b4
+	continue loop
+b8 range.done -> b4`,
+	},
+	{
+		name: "panic-exit",
+		body: `
+if bad {
+	panic("boom")
+}
+return`,
+		golden: `b0 entry -> b1 b2
+	bad
+b1 if.then
+	panic("boom")
+b2 if.done
+	return`,
+	},
+	{
+		name: "type-switch",
+		body: `
+switch v := x.(type) {
+case int:
+	g(v)
+case string:
+}
+return`,
+		golden: `b0 entry -> b1 b2 b3
+	v := x.(type)
+b1 switch.case -> b3
+	int
+	g(v)
+b2 switch.case -> b3
+	string
+b3 switch.done
+	return`,
+	},
+	{
+		name: "condless-for-select",
+		body: `
+for {
+	select {
+	case <-done:
+		return
+	case v := <-in:
+		g(v)
+	}
+}`,
+		golden: `b0 entry -> b1
+b1 for.head -> b2
+b2 for.body -> b4
+b3 for.done (dead)
+b4 select.head -> b5 b6
+b5 select.case
+	<-done
+	return
+b6 select.case -> b7
+	v := <-in
+	g(v)
+b7 select.done -> b1`,
+	},
+}
+
+func TestGoldenDumps(t *testing.T) {
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			fset, body := parseBody(t, fx.body)
+			got := strings.TrimRight(New(body).Dump(fset), "\n")
+			want := strings.ReplaceAll(strings.TrimSpace(fx.golden), "\n\t", "\n\t")
+			if got != want {
+				t.Errorf("dump mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestReachabilityProperty checks the structural invariants of every
+// fixture graph: the entry is block 0; every successor edge points at a
+// block of the same graph; and the Live flag on every block agrees with an
+// independent reachability recomputation — every node is reachable from
+// the entry or flagged dead.
+func TestReachabilityProperty(t *testing.T) {
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			_, body := parseBody(t, fx.body)
+			g := New(body)
+			if len(g.Blocks) == 0 {
+				t.Fatal("graph has no blocks")
+			}
+			if g.Blocks[0].Kind != "entry" {
+				t.Fatalf("Blocks[0] kind = %q, want entry", g.Blocks[0].Kind)
+			}
+			for i, b := range g.Blocks {
+				if b.Index != i {
+					t.Errorf("block at position %d has Index %d", i, b.Index)
+				}
+				for _, s := range b.Succs {
+					if s == nil {
+						t.Fatalf("b%d has a nil successor", b.Index)
+					}
+					if s.Index < 0 || s.Index >= len(g.Blocks) || g.Blocks[s.Index] != s {
+						t.Errorf("b%d has an edge to a block outside the graph", b.Index)
+					}
+				}
+			}
+			// Independent reachability: DFS over indices.
+			reach := make(map[int]bool)
+			var dfs func(int)
+			dfs = func(i int) {
+				if reach[i] {
+					return
+				}
+				reach[i] = true
+				for _, s := range g.Blocks[i].Succs {
+					dfs(s.Index)
+				}
+			}
+			dfs(0)
+			for _, b := range g.Blocks {
+				if b.Live != reach[b.Index] {
+					t.Errorf("b%d %s: Live = %v, reachable = %v", b.Index, b.Kind, b.Live, reach[b.Index])
+				}
+			}
+		})
+	}
+}
+
+// TestForwardDataflow runs a tiny gen-set lattice ("which marker calls may
+// have executed") over a diamond with a loop, checking the join and the
+// fixpoint against hand-computed states.
+func TestForwardDataflow(t *testing.T) {
+	_, body := parseBody(t, `
+a()
+if c {
+	b1x()
+} else {
+	b2x()
+}
+for i := 0; i < n; i++ {
+	loopx()
+}
+return`)
+	g := New(body)
+
+	type set = map[string]bool
+	calls := func(b *Block) []string {
+		var out []string
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						out = append(out, id.Name)
+					}
+				}
+				return true
+			})
+		}
+		return out
+	}
+	clone := func(s set) set {
+		c := make(set, len(s))
+		for k := range s {
+			c[k] = true
+		}
+		return c
+	}
+	in := Forward(g, Flow[set]{
+		Init: set{},
+		Transfer: func(b *Block, in set) set {
+			out := clone(in)
+			for _, c := range calls(b) {
+				out[c] = true
+			}
+			return out
+		},
+		Join: func(a, b set) set {
+			u := clone(a)
+			for k := range b {
+				u[k] = true
+			}
+			return u
+		},
+		Equal: func(a, b set) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Clone: clone,
+	})
+
+	// Find the loop head and the exit block.
+	var head, exit *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" {
+			head = b
+		}
+		if b.Live && len(b.Succs) == 0 {
+			exit = b
+		}
+	}
+	if head == nil || exit == nil {
+		t.Fatalf("fixture graph missing for.head or exit:\n%s", g.Dump(token.NewFileSet()))
+	}
+	wantAt := func(b *Block, want ...string) {
+		t.Helper()
+		st, ok := in[b]
+		if !ok {
+			t.Fatalf("no state computed for b%d %s", b.Index, b.Kind)
+		}
+		for _, w := range want {
+			if !st[w] {
+				t.Errorf("b%d %s: missing %q in state %v", b.Index, b.Kind, w, st)
+			}
+		}
+		if len(st) != len(want) {
+			t.Errorf("b%d %s: state %v, want exactly %v", b.Index, b.Kind, st, want)
+		}
+	}
+	// At the loop head both branch markers have joined, and the back edge
+	// has folded loopx in at fixpoint.
+	wantAt(head, "a", "b1x", "b2x", "loopx")
+	wantAt(exit, "a", "b1x", "b2x", "loopx")
+}

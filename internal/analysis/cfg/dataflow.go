@@ -1,0 +1,59 @@
+package cfg
+
+// A Flow defines a forward dataflow problem over a Graph with a pluggable
+// lattice: the state type S, the entry state, a per-block transfer
+// function, and the lattice operations join/equal/clone. The driver is
+// analyzer-agnostic — lockguard instantiates it with a held-lock set,
+// other analyzers can bring their own lattice.
+//
+// Contracts: Transfer must not mutate its input (return a fresh value);
+// Join must not mutate either argument; Clone must return a value the
+// caller may retain. Join must be monotone over a lattice of finite height
+// or the fixpoint iteration will not terminate.
+type Flow[S any] struct {
+	Init     S                       // state at function entry
+	Transfer func(b *Block, in S) S  // out-state of b given its in-state
+	Join     func(a, b S) S          // least upper bound
+	Equal    func(a, b S) bool       // lattice equality (fixpoint test)
+	Clone    func(s S) S             // independent copy
+}
+
+// Forward runs the worklist algorithm to fixpoint and returns every
+// reached block's IN state. Blocks unreachable from the entry are absent
+// from the map. An analyzer typically re-walks each reached block from its
+// IN state afterwards to report findings at specific nodes.
+func Forward[S any](g *Graph, f Flow[S]) map[*Block]S {
+	if len(g.Blocks) == 0 {
+		return nil
+	}
+	in := make(map[*Block]S)
+	entry := g.Blocks[0]
+	in[entry] = f.Clone(f.Init)
+	queued := make([]bool, len(g.Blocks))
+	work := []*Block{entry}
+	queued[entry.Index] = true
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+		out := f.Transfer(b, in[b])
+		for _, s := range b.Succs {
+			cur, ok := in[s]
+			var next S
+			if !ok {
+				next = f.Clone(out)
+			} else {
+				next = f.Join(cur, out)
+				if f.Equal(cur, next) {
+					continue
+				}
+			}
+			in[s] = next
+			if !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
