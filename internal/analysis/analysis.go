@@ -31,13 +31,17 @@ type Analyzer struct {
 	Run  func(*Pass) error
 }
 
-// A Pass hands an Analyzer one type-checked package.
+// A Pass hands an Analyzer one type-checked package. Facts carries the
+// cross-package function summaries Load derived over the whole dependency
+// closure; it is nil-safe to query but only non-nil for packages that came
+// through Load.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	Facts     *Facts
 	Report    func(Diagnostic)
 }
 
@@ -91,6 +95,26 @@ func LineDirective(fset *token.FileSet, file *ast.File, pos token.Pos, name stri
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			if fset.Position(c.Pos()).Line == line &&
+				hasDirective(&ast.CommentGroup{List: []*ast.Comment{c}}, name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// StmtDirective reports whether a //cpsdyn:<name> directive sits on the
+// same line as pos or on its own on the line directly above — the natural
+// places to annotate a whole statement such as a `go` statement:
+//
+//	//cpsdyn:detached sctx bounds the read loop
+//	go st.read(resp.Body)
+func StmtDirective(fset *token.FileSet, file *ast.File, pos token.Pos, name string) bool {
+	line := fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			cl := fset.Position(c.Pos()).Line
+			if (cl == line || cl == line-1) &&
 				hasDirective(&ast.CommentGroup{List: []*ast.Comment{c}}, name) {
 				return true
 			}

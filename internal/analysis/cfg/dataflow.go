@@ -11,11 +11,11 @@ package cfg
 // caller may retain. Join must be monotone over a lattice of finite height
 // or the fixpoint iteration will not terminate.
 type Flow[S any] struct {
-	Init     S                       // state at function entry
-	Transfer func(b *Block, in S) S  // out-state of b given its in-state
-	Join     func(a, b S) S          // least upper bound
-	Equal    func(a, b S) bool       // lattice equality (fixpoint test)
-	Clone    func(s S) S             // independent copy
+	Init     S                      // state at function entry
+	Transfer func(b *Block, in S) S // out-state of b given its in-state
+	Join     func(a, b S) S         // least upper bound
+	Equal    func(a, b S) bool      // lattice equality (fixpoint test)
+	Clone    func(s S) S            // independent copy
 }
 
 // Forward runs the worklist algorithm to fixpoint and returns every

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FuncFacts is the cross-package summary of one function's concurrency
+// behavior, derived bottom-up through the `go list -deps` closure by Load.
+type FuncFacts struct {
+	// Blocks means the function may perform a channel operation (send,
+	// receive, range over a channel, select without default), network I/O,
+	// or a context/WaitGroup-style wait — directly or through any callee
+	// resolvable at compile time. Mutex operations are deliberately not
+	// counted: seeding (*sync.Mutex).Lock would transitively mark most of
+	// the tree blocking and drown the one bug class lockguard exists for
+	// (a lock held across an unbounded wait).
+	Blocks bool
+	// Spawns means the function may start a goroutine, directly or through
+	// a resolvable callee.
+	Spawns bool
+}
+
+// union folds o into f.
+func (f FuncFacts) union(o FuncFacts) FuncFacts {
+	return FuncFacts{Blocks: f.Blocks || o.Blocks, Spawns: f.Spawns || o.Spawns}
+}
+
+// Facts holds the function summaries for one Load closure. Analyzers query
+// it through Pass.Facts; the zero lookup (unknown or indirect callee)
+// returns no facts, so interface and function-valued calls are never
+// assumed to block — the analysis is deliberately under-approximate there
+// and the seed table below covers the runtime primitives that matter.
+type Facts struct {
+	funcs map[*types.Func]FuncFacts
+}
+
+// seedFacts hard-codes summaries for primitives whose blocking happens
+// below the Go source the loader can see (runtime semaphores, linknamed
+// bodies, syscalls). Keyed by types.Func.FullName.
+var seedFacts = map[string]FuncFacts{
+	"(*sync.WaitGroup).Wait":            {Blocks: true},
+	"(*sync.Cond).Wait":                 {Blocks: true},
+	"time.Sleep":                        {Blocks: true},
+	"(*net/http.Client).Do":             {Blocks: true},
+	"(*net/http.Client).Get":            {Blocks: true},
+	"(*net/http.Client).Post":           {Blocks: true},
+	"(*net/http.Client).PostForm":       {Blocks: true},
+	"(*net/http.Client).Head":           {Blocks: true},
+	"net/http.Get":                      {Blocks: true},
+	"net/http.Post":                     {Blocks: true},
+	"net/http.PostForm":                 {Blocks: true},
+	"net/http.Head":                     {Blocks: true},
+	"(*net/http.Server).ListenAndServe": {Blocks: true},
+	"(*net/http.Server).Serve":          {Blocks: true},
+	"(*net/http.Server).Shutdown":       {Blocks: true},
+	"net.Dial":                          {Blocks: true},
+	"net.DialTimeout":                   {Blocks: true},
+	"net.Listen":                        {Blocks: true},
+	"(*io.PipeReader).Read":             {Blocks: true},
+	"(*io.PipeWriter).Write":            {Blocks: true},
+}
+
+func newFacts() *Facts {
+	return &Facts{funcs: make(map[*types.Func]FuncFacts)}
+}
+
+// Of returns the summary for fn. A nil fn (builtin, conversion, indirect
+// call) has no facts. Generic instantiations share their origin's facts.
+func (f *Facts) Of(fn *types.Func) FuncFacts {
+	if f == nil || fn == nil {
+		return FuncFacts{}
+	}
+	fn = fn.Origin()
+	ff := f.funcs[fn]
+	if seed, ok := seedFacts[fn.FullName()]; ok {
+		ff = ff.union(seed)
+	}
+	return ff
+}
+
+// addPackageFacts derives FuncFacts for every function declared in one
+// package and folds them into f. Packages must be added in dependency
+// order (as `go list -deps` emits them) so callee summaries exist before
+// their callers are scanned; recursion within the package is handled by
+// iterating to a fixpoint — the lattice is two booleans per function, so
+// the iteration count is bounded by the declaration count.
+func (f *Facts) addPackageFacts(info *types.Info, files []*ast.File) {
+	type decl struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var decls []decl
+	for _, file := range files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls = append(decls, decl{fn, fd.Body})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			got := f.funcs[d.fn].union(f.scanBody(info, d.body))
+			if got != f.funcs[d.fn] {
+				f.funcs[d.fn] = got
+				changed = true
+			}
+		}
+	}
+}
+
+// scanBody computes the intrinsic + call-propagated facts of one function
+// body. A `go` statement sets Spawns and its whole subtree is skipped: the
+// spawned work blocking is the goroutine's behavior, not the spawner's.
+// Non-go function literals fold into the enclosing function conservatively
+// (they usually run before it returns). Select statements block only
+// without a default clause, and the comm operations of a select never
+// count individually — the select head is the one decision point.
+func (f *Facts) scanBody(info *types.Info, body *ast.BlockStmt) FuncFacts {
+	var ff FuncFacts
+	var scan func(n ast.Node)
+	scan = func(n ast.Node) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.GoStmt:
+				ff.Spawns = true
+				return false
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, cl := range x.Body.List {
+					if cl.(*ast.CommClause).Comm == nil {
+						hasDefault = true
+					}
+				}
+				if !hasDefault {
+					ff.Blocks = true
+				}
+				for _, cl := range x.Body.List {
+					for _, s := range cl.(*ast.CommClause).Body {
+						scan(s)
+					}
+				}
+				return false
+			case *ast.SendStmt:
+				ff.Blocks = true
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					ff.Blocks = true
+				}
+			case *ast.RangeStmt:
+				if t := info.TypeOf(x.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						ff.Blocks = true
+					}
+				}
+			case *ast.CallExpr:
+				ff = ff.union(f.Of(CalleeFunc(info, x)))
+			}
+			return true
+		})
+	}
+	scan(body)
+	return ff
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/types"
+	"testing"
+)
+
+func TestFacts(t *testing.T) {
+	pkgs, err := Load("testdata/src/facts", ".")
+	if err != nil {
+		t.Fatalf("loading facts fixture: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Facts == nil {
+		t.Fatal("Load returned a package without Facts")
+	}
+	fn := func(name string) *types.Func {
+		t.Helper()
+		obj := pkg.Types.Scope().Lookup(name)
+		f, ok := obj.(*types.Func)
+		if !ok {
+			t.Fatalf("fixture has no function %q (got %v)", name, obj)
+		}
+		return f
+	}
+
+	cases := []struct {
+		name   string
+		blocks bool
+		spawns bool
+	}{
+		{"pure", false, false},
+		{"chanRecv", true, false},       // intrinsic receive
+		{"caller", true, false},         // transitive through a call
+		{"sender", true, false},         // intrinsic send
+		{"ranger", true, false},         // range over a channel
+		{"selector", true, false},       // select without default
+		{"selectDefault", false, false}, // select with default polls
+		{"deferBlock", true, false},     // deferred call still runs here
+		{"spawner", false, true},        // go statement
+		{"spawnCaller", false, true},    // transitive spawns
+		{"goBlocked", false, true},      // spawned body's blocking pruned
+		{"litCaller", true, false},      // inline literal counts
+		{"sleeper", true, false},        // seeded time.Sleep
+		{"waiter", true, false},         // seeded (*sync.WaitGroup).Wait
+		{"viaIface", false, false},      // interface call not propagated
+		{"mutualA", true, false},        // fixpoint over mutual recursion
+		{"mutualB", true, false},
+	}
+	for _, tc := range cases {
+		got := pkg.Facts.Of(fn(tc.name))
+		if got.Blocks != tc.blocks || got.Spawns != tc.spawns {
+			t.Errorf("%s: got {Blocks:%v Spawns:%v}, want {Blocks:%v Spawns:%v}",
+				tc.name, got.Blocks, got.Spawns, tc.blocks, tc.spawns)
+		}
+	}
+
+	// The nil receiver and nil function are both safe no-fact lookups.
+	var nilFacts *Facts
+	if ff := nilFacts.Of(fn("chanRecv")); ff != (FuncFacts{}) {
+		t.Errorf("nil Facts lookup returned %+v", ff)
+	}
+	if ff := pkg.Facts.Of(nil); ff != (FuncFacts{}) {
+		t.Errorf("nil func lookup returned %+v", ff)
+	}
+}

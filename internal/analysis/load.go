@@ -26,6 +26,7 @@ type Package struct {
 	Syntax    []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
+	Facts     *Facts // function summaries for the whole Load closure
 }
 
 // Run applies one analyzer to the package and returns its diagnostics
@@ -38,6 +39,7 @@ func (p *Package) Run(a *Analyzer) ([]Diagnostic, error) {
 		Files:     p.Syntax,
 		Pkg:       p.Types,
 		TypesInfo: p.TypesInfo,
+		Facts:     p.Facts,
 		Report:    func(d Diagnostic) { diags = append(diags, d) },
 	}
 	if err := a.Run(pass); err != nil {
@@ -101,6 +103,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 
 	fset := token.NewFileSet()
 	checked := map[string]*types.Package{"unsafe": types.Unsafe}
+	facts := newFacts()
 	var pkgs []*Package
 	var errs []error
 	for _, lp := range listed {
@@ -129,14 +132,16 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			}
 			files = append(files, f)
 		}
-		var info *types.Info
-		if target {
-			info = &types.Info{
-				Types:      make(map[ast.Expr]types.TypeAndValue),
-				Defs:       make(map[*ast.Ident]types.Object),
-				Uses:       make(map[*ast.Ident]types.Object),
-				Selections: make(map[*ast.SelectorExpr]*types.Selection),
-			}
+		// Every package in the closure gets full use/def/type maps: the
+		// facts pass below needs them to resolve callees and channel
+		// ranges in dependencies too. Dependency info is dropped again
+		// once the package's facts are folded in; only target packages
+		// retain theirs.
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		}
 		var typeErrs []error
 		conf := types.Config{
@@ -155,6 +160,10 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		tpkg, _ := conf.Check(lp.ImportPath, fset, files, info)
 		if tpkg != nil {
 			checked[lp.ImportPath] = tpkg
+			// Fold this package's function summaries in. go list -deps
+			// emits dependencies before dependents, so callee facts are
+			// already present when their callers are scanned.
+			facts.addPackageFacts(info, files)
 		}
 		if target {
 			if len(typeErrs) > 0 || parseFailed {
@@ -168,6 +177,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 				Syntax:    files,
 				Types:     tpkg,
 				TypesInfo: info,
+				Facts:     facts,
 			})
 		}
 	}

@@ -1,0 +1,96 @@
+// Package facts exercises the cross-package function-summary derivation:
+// intrinsic channel operations, transitive propagation through calls,
+// seeded runtime primitives, goroutine pruning, and the deliberate
+// under-approximation of indirect calls.
+package facts
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+func pure(x int) int { return x + 1 }
+
+func chanRecv(ch chan int) int { return <-ch }
+
+func caller(ch chan int) int { return chanRecv(ch) }
+
+func sender(ch chan<- int) { ch <- 1 }
+
+func ranger(ch chan int) (s int) {
+	for v := range ch {
+		s += v
+	}
+	return s
+}
+
+func selector(a, b chan int) {
+	select {
+	case <-a:
+	case <-b:
+	}
+}
+
+// selectDefault never blocks: the default clause makes the select a poll,
+// and the comm clauses of a select do not count individually.
+func selectDefault(ch chan int) {
+	select {
+	case <-ch:
+	default:
+	}
+}
+
+func deferBlock(ch chan int) {
+	defer chanRecv(ch)
+}
+
+func spawner() {
+	go func() {
+		pure(1)
+	}()
+}
+
+func spawnCaller() { spawner() }
+
+// goBlocked spawns a goroutine whose body blocks; the spawner itself does
+// not — the go-statement subtree is pruned.
+func goBlocked(ch chan int) {
+	go func() {
+		<-ch
+	}()
+}
+
+// litCaller runs a blocking function literal inline (not via go), which
+// counts conservatively toward the enclosing function.
+func litCaller(ch chan int) {
+	f := func() { <-ch }
+	f()
+}
+
+func sleeper() { time.Sleep(time.Millisecond) }
+
+func waiter(wg *sync.WaitGroup) { wg.Wait() }
+
+// viaIface calls through an interface, which facts deliberately do not
+// propagate.
+func viaIface(r io.Reader) {
+	var buf [1]byte
+	_, _ = r.Read(buf[:])
+}
+
+// mutualA and mutualB are mutually recursive; the blocking receive in
+// mutualB must reach mutualA through the in-package fixpoint.
+func mutualA(n int, ch chan int) int {
+	if n == 0 {
+		return 0
+	}
+	return mutualB(n-1, ch)
+}
+
+func mutualB(n int, ch chan int) int {
+	if n == 0 {
+		return <-ch
+	}
+	return mutualA(n-1, ch)
+}
