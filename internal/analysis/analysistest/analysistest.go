@@ -9,16 +9,18 @@
 //
 //	ctx := context.Background() // want `context\.Background`
 //
-// Every want-pattern must be matched by a diagnostic reported on that line,
-// and every diagnostic must match a want-pattern on its line; anything else
-// fails the test. A package with no want comments asserts the analyzer is
-// silent on it.
+// Patterns and diagnostics are matched per line as a multiset: every
+// want-pattern must be consumed by exactly one diagnostic on that line and
+// every diagnostic must consume one pattern, so a line expecting the same
+// finding twice writes the pattern twice. Any mismatch fails the test with
+// the line's full expected-vs-got sets. A package with no want comments
+// asserts the analyzer is silent on it.
 package analysistest
 
 import (
 	"fmt"
-	"go/token"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 
@@ -52,7 +54,7 @@ type key struct {
 	line int
 }
 
-func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+func check(t testing.TB, pkg *analysis.Package, diags []analysis.Diagnostic) {
 	t.Helper()
 	// Gather expectations: file:line -> want patterns.
 	wants := make(map[key][]*regexp.Regexp)
@@ -72,40 +74,91 @@ func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
 					}
 					re, err := regexp.Compile(pat)
 					if err != nil {
-						t.Fatalf("%s: bad want pattern %q: %v", posString(pos), pat, err)
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
 					}
 					wants[k] = append(wants[k], re)
 				}
 			}
 		}
 	}
-	matched := make(map[key][]bool)
-	for k, res := range wants {
-		matched[k] = make([]bool, len(res))
-	}
+
+	// Match per line as a multiset: each diagnostic consumes at most one
+	// still-unconsumed want pattern, so a line expecting the same finding
+	// twice needs the pattern written twice, and two diagnostics cannot
+	// both satisfy a single pattern.
+	got := make(map[key][]string)
 	for _, d := range diags {
 		pos := pkg.Fset.Position(d.Pos)
 		k := key{pos.Filename, pos.Line}
-		ok := false
-		for i, re := range wants[k] {
-			if re.MatchString(d.Message) {
-				matched[k][i] = true
-				ok = true
-			}
-		}
-		if !ok {
-			t.Errorf("%s: unexpected diagnostic: %s", posString(pos), d.Message)
-		}
+		got[k] = append(got[k], d.Message)
 	}
-	for k, res := range wants {
-		for i, re := range res {
-			if !matched[k][i] {
-				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, re)
+	lines := make(map[key]bool)
+	for k := range wants {
+		lines[k] = true
+	}
+	for k := range got {
+		lines[k] = true
+	}
+	var keys []key
+	for k := range lines {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		pats, msgs := wants[k], got[k]
+		used := make([]bool, len(pats))
+		var unexpected []string
+		for _, msg := range msgs {
+			matched := false
+			for i, re := range pats {
+				if !used[i] && re.MatchString(msg) {
+					used[i] = true
+					matched = true
+					break
+				}
 			}
+			if !matched {
+				unexpected = append(unexpected, msg)
+			}
+		}
+		var unmatched []string
+		for i, re := range pats {
+			if !used[i] {
+				unmatched = append(unmatched, fmt.Sprintf("`%s`", re))
+			}
+		}
+		if len(unexpected) > 0 || len(unmatched) > 0 {
+			t.Errorf("%s:%d: diagnostics do not match want comments\n\twant: %s\n\tgot:  %s",
+				k.file, k.line, describeWants(pats), describeGot(msgs))
 		}
 	}
 }
 
-func posString(pos token.Position) string {
-	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+// describeWants renders a line's expected patterns for the mismatch report.
+func describeWants(pats []*regexp.Regexp) string {
+	if len(pats) == 0 {
+		return "(no findings)"
+	}
+	parts := make([]string, len(pats))
+	for i, re := range pats {
+		parts[i] = fmt.Sprintf("`%s`", re)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// describeGot renders a line's reported diagnostics for the mismatch report.
+func describeGot(msgs []string) string {
+	if len(msgs) == 0 {
+		return "(no findings)"
+	}
+	parts := make([]string, len(msgs))
+	for i, m := range msgs {
+		parts[i] = fmt.Sprintf("%q", m)
+	}
+	return strings.Join(parts, ", ")
 }

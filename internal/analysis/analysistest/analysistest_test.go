@@ -1,0 +1,91 @@
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+	"testing"
+
+	"cpsdyn/internal/analysis"
+)
+
+// boomAnalyzer reports one diagnostic per call to a function named boom —
+// enough to produce two findings on one line in the multi fixture.
+var boomAnalyzer = &analysis.Analyzer{
+	Name: "boomtest",
+	Doc:  "reports every call to boom",
+	Run: func(p *analysis.Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok {
+					if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "boom" {
+						p.Reportf(c.Pos(), "call to boom")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestMultisetPerLine pins that two identical findings on one line satisfy
+// (and require) two identical want patterns.
+func TestMultisetPerLine(t *testing.T) {
+	Run(t, "testdata/src/multi", boomAnalyzer)
+}
+
+// recordingTB captures Errorf calls so the mismatch report itself can be
+// asserted on.
+type recordingTB struct {
+	testing.TB
+	errors []string
+}
+
+func (r *recordingTB) Helper() {}
+func (r *recordingTB) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+
+// TestMismatchShowsExpectedVsGot drops one of the two diagnostics and
+// checks the failure lists the full expected and got sets for the line.
+func TestMismatchShowsExpectedVsGot(t *testing.T) {
+	pkgs, err := analysis.Load("testdata/src/multi", ".")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	pkg := pkgs[0]
+	diags, err := pkg.Run(boomAnalyzer)
+	if err != nil {
+		t.Fatalf("running analyzer: %v", err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("fixture produced %d diagnostics, want 2", len(diags))
+	}
+
+	rec := &recordingTB{TB: t}
+	check(rec, pkg, diags[:1])
+	if len(rec.errors) != 1 {
+		t.Fatalf("got %d errors, want 1: %q", len(rec.errors), rec.errors)
+	}
+	e := rec.errors[0]
+	if !strings.Contains(e, "want: `boom`, `boom`") {
+		t.Errorf("mismatch report does not list both want patterns:\n%s", e)
+	}
+	if !strings.Contains(e, `got:  "call to boom"`) {
+		t.Errorf("mismatch report does not list the got set:\n%s", e)
+	}
+
+	// An extra diagnostic on a want-less line reports that line too.
+	rec = &recordingTB{TB: t}
+	extra := append(append([]analysis.Diagnostic{}, diags...),
+		analysis.Diagnostic{Pos: pkg.Syntax[0].Package, Message: "stray"})
+	check(rec, pkg, extra)
+	if len(rec.errors) != 1 {
+		t.Fatalf("got %d errors, want 1: %q", len(rec.errors), rec.errors)
+	}
+	if !strings.Contains(rec.errors[0], "want: (no findings)") ||
+		!strings.Contains(rec.errors[0], `got:  "stray"`) {
+		t.Errorf("stray-diagnostic report wrong:\n%s", rec.errors[0])
+	}
+}

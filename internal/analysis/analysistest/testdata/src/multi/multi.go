@@ -1,0 +1,9 @@
+// Package multi is a fixture for the harness's own tests: two findings on
+// one line must be matched as a multiset against two want patterns.
+package multi
+
+func boom() {}
+
+func f() {
+	boom(); boom() // want `boom` `boom`
+}
