@@ -1,0 +1,141 @@
+// Package atomicmix defines an Analyzer that forbids mixing sync/atomic
+// access with plain loads and stores of the same variable or field. Once
+// any access to a location goes through atomic.AddInt64/LoadUint64/… ,
+// every other access must too — a plain `s.n++` beside an atomic add is a
+// data race the race detector only catches when the interleaving shows up.
+// This is the counter-snapshot pattern the /statsz handler relies on.
+//
+// The check is per package (the pattern lives on unexported fields): phase
+// one collects every object whose address is passed to a sync/atomic
+// function, phase two flags every other syntactic use of those objects.
+// Composite-literal keys are not uses, and typed atomics (atomic.Uint64
+// and friends) are immune by construction — their value is never addressed
+// by the caller. A deliberate plain access — a constructor before the
+// value is published, say — annotates its line with
+//
+//	//cpsdyn:nonatomic <why>
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cpsdyn/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "check that atomically-accessed variables and fields are never read or written plainly",
+	Run:  run,
+}
+
+const directive = "nonatomic"
+
+func run(pass *analysis.Pass) error {
+	// Phase 1: objects whose address reaches a sync/atomic call, the
+	// first such call site for the message, and the exact &x nodes those
+	// calls own (they are not plain uses).
+	atomicAt := make(map[types.Object]token.Position)
+	allowed := make(map[ast.Node]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if fn.Signature().Recv() != nil {
+				return true // typed atomics' methods are self-contained
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				obj := referent(pass.TypesInfo, u.X)
+				if obj == nil {
+					continue
+				}
+				pos := pass.Fset.Position(call.Pos())
+				if at, ok := atomicAt[obj]; !ok || pos.Offset < at.Offset {
+					atomicAt[obj] = pos
+				}
+				allowed[u] = true
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return nil
+	}
+
+	// Phase 2: every other use of those objects is a plain access.
+	for _, file := range pass.Files {
+		litKeys := compositeLitKeys(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			if allowed[n] {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			at, tracked := atomicAt[obj]
+			if !tracked || litKeys[id] {
+				return true
+			}
+			if analysis.LineDirective(pass.Fset, file, id.Pos(), directive) {
+				return true
+			}
+			pass.Reportf(id.Pos(), "%s is accessed with sync/atomic (e.g. %s); a plain access races with it — use the atomic API, a typed atomic, or annotate //cpsdyn:nonatomic <why>",
+				id.Name, at)
+			return true
+		})
+	}
+	return nil
+}
+
+// referent resolves the operand of an & expression to the variable or
+// field object it addresses, or nil for anything not directly addressable
+// by name (index expressions, results of calls).
+func referent(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(e)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[e.Sel] // package-qualified var
+	}
+	return nil
+}
+
+// compositeLitKeys collects the field-name idents of keyed composite
+// literals; `S{n: 0}` names the field, it does not access it.
+func compositeLitKeys(file *ast.File) map[*ast.Ident]bool {
+	keys := make(map[*ast.Ident]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, el := range lit.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					keys[id] = true
+				}
+			}
+		}
+		return true
+	})
+	return keys
+}

@@ -1,0 +1,14 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"cpsdyn/internal/analysis/analysistest"
+	"cpsdyn/internal/analysis/atomicmix"
+)
+
+func TestPositive(t *testing.T) { analysistest.Run(t, "testdata/src/a", atomicmix.Analyzer) }
+
+func TestNegative(t *testing.T) { analysistest.Run(t, "testdata/src/b", atomicmix.Analyzer) }
+
+func TestAnnotatedExemption(t *testing.T) { analysistest.Run(t, "testdata/src/c", atomicmix.Analyzer) }

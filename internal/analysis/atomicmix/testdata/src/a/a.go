@@ -1,0 +1,29 @@
+// Package a holds atomicmix positives: plain reads and writes of
+// locations that are accessed atomically elsewhere.
+package a
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64
+	misses int64
+}
+
+func (s *stats) hit()  { atomic.AddInt64(&s.hits, 1) }
+func (s *stats) miss() { atomic.AddInt64(&s.misses, 1) }
+
+func (s *stats) snapshot() (int64, int64) {
+	return s.hits, atomic.LoadInt64(&s.misses) // want `hits is accessed with sync/atomic`
+}
+
+func (s *stats) reset() {
+	s.hits = 0 // want `hits is accessed with sync/atomic`
+}
+
+var counter int64
+
+func bump() { atomic.AddInt64(&counter, 1) }
+
+func read() int64 {
+	return counter // want `counter is accessed with sync/atomic`
+}

@@ -1,0 +1,25 @@
+// Package b holds atomicmix negatives: typed atomics, consistently
+// atomic access, and plain fields never touched atomically.
+package b
+
+import "sync/atomic"
+
+type stats struct {
+	hits  atomic.Int64 // typed atomics are immune by construction
+	plain int64        // never atomic, plain access is fine
+}
+
+func (s *stats) hit()        { s.hits.Add(1) }
+func (s *stats) read() int64 { return s.hits.Load() }
+
+func (s *stats) misc() int64 {
+	s.plain++
+	return s.plain
+}
+
+var n int64
+
+func allAtomic() int64 {
+	atomic.AddInt64(&n, 1)
+	return atomic.LoadInt64(&n)
+}

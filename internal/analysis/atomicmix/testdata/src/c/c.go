@@ -1,0 +1,22 @@
+// Package c holds atomicmix exemption cases: //cpsdyn:nonatomic on the
+// access's line is honoured, an unannotated sibling stays flagged.
+package c
+
+import "sync/atomic"
+
+type gauge struct {
+	v int64
+}
+
+func (g *gauge) bump() { atomic.AddInt64(&g.v, 1) }
+
+// newGauge runs before the value is published; the plain write is safe.
+func newGauge(v0 int64) *gauge {
+	g := &gauge{}
+	g.v = v0 //cpsdyn:nonatomic not yet published
+	return g
+}
+
+func (g *gauge) unannotated() int64 {
+	return g.v // want `v is accessed with sync/atomic`
+}

@@ -62,6 +62,14 @@ var seedFacts = map[string]FuncFacts{
 	"(*io.PipeWriter).Write":            {Blocks: true},
 }
 
+// factsSkip lists packages whose bodies are never scanned: the runtime
+// implements the scheduler and the collector with real go statements and
+// channel operations (bgsweep hand-off, GC worker spawns) that are not
+// "blocking" or "spawning" at the language abstraction level. Scanning
+// them would leak Blocks/Spawns into everything that transitively touches
+// a runtime helper — reflect, fmt, encoding/json — and drown the signal.
+var factsSkip = map[string]bool{"runtime": true}
+
 func newFacts() *Facts {
 	return &Facts{funcs: make(map[*types.Func]FuncFacts)}
 }

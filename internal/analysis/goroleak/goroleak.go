@@ -1,0 +1,201 @@
+// Package goroleak defines an Analyzer that checks every `go` statement
+// for a structured-concurrency anchor: after the spawn, the spawning
+// function must be able to reach a join — a WaitGroup/Cond Wait, a channel
+// receive, a select, a range over a channel, or a hand-off into the conc
+// pool — or the spawned body must watch its context (receive from
+// ctx.Done()) so cancellation bounds its lifetime.
+//
+// The check is intraprocedural over the cfg layer: from the go statement's
+// basic block it scans the rest of the block and every transitively
+// reachable successor. A helper that spawns for its caller to join
+// therefore gets flagged and must carry the escape: annotate the go
+// statement (same line or the line above) with
+//
+//	//cpsdyn:detached <why>
+//
+// stating what bounds the goroutine's lifetime instead. Any channel
+// receive or select counts as a join — the analyzer does not track which
+// channel the goroutine writes — so the check under-approximates leaks
+// rather than over-reporting.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cpsdyn/internal/analysis"
+	"cpsdyn/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc:  "check that every go statement reaches a join or the goroutine watches ctx.Done()",
+	Run:  run,
+}
+
+const directive = "detached"
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return true
+				}
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			check(pass, file, body)
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, file *ast.File, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	for _, b := range g.Blocks {
+		if !b.Live {
+			continue
+		}
+		for i, n := range b.Nodes {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				continue
+			}
+			if analysis.StmtDirective(pass.Fset, file, gs.Pos(), directive) {
+				continue
+			}
+			if watchesDone(pass, gs) {
+				continue
+			}
+			if joinReachable(pass, b, i+1) {
+				continue
+			}
+			pass.Reportf(gs.Pos(), "goroutine has no reachable join (WaitGroup.Wait, channel receive, select, or conc pool) and does not watch ctx.Done(); join it, bound it by the context, or annotate //cpsdyn:detached <why>")
+		}
+	}
+}
+
+// watchesDone reports whether the spawned function is a literal whose body
+// receives from a context's Done channel — the goroutine's lifetime is
+// then bounded by cancellation.
+func watchesDone(pass *analysis.Pass, gs *ast.GoStmt) bool {
+	lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		u, ok := n.(*ast.UnaryExpr)
+		if !ok || u.Op != token.ARROW {
+			return true
+		}
+		call, ok := ast.Unparen(u.X).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return true
+		}
+		if t := pass.TypesInfo.TypeOf(sel.X); t != nil && analysis.IsContextType(t) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// joinReachable scans the remainder of block b starting at node index
+// from, then every transitively reachable successor, for a join point.
+func joinReachable(pass *analysis.Pass, b *cfg.Block, from int) bool {
+	if blockJoins(pass, b, from) {
+		return true
+	}
+	// b itself is not pre-seeded: if a back edge reaches it again, a join
+	// sitting before the go statement (a loop that receives, then spawns)
+	// is scanned on the next iteration's pass through the block.
+	seen := make(map[*cfg.Block]bool)
+	queue := append([]*cfg.Block(nil), b.Succs...)
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		if kindJoins(pass, s) || blockJoins(pass, s, 0) {
+			return true
+		}
+		queue = append(queue, s.Succs...)
+	}
+	return false
+}
+
+// kindJoins reports whether the block itself is a join point: any select
+// head, or a range head over a channel.
+func kindJoins(pass *analysis.Pass, b *cfg.Block) bool {
+	switch b.Kind {
+	case "select.head":
+		return true
+	case "range.head":
+		s := b.Stmt.(*ast.RangeStmt)
+		if t := pass.TypesInfo.TypeOf(s.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// blockJoins scans b's nodes from index from for a receive, a blocking
+// Wait, or a call into the conc pool. Function literals are pruned — a
+// join inside a literal happens when the literal runs, not here.
+func blockJoins(pass *analysis.Pass, b *cfg.Block, from int) bool {
+	for _, n := range b.Nodes[from:] {
+		joins := false
+		ast.Inspect(n, func(x ast.Node) bool {
+			if joins {
+				return false
+			}
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					joins = true
+				}
+			case *ast.CallExpr:
+				fn := analysis.CalleeFunc(pass.TypesInfo, x)
+				if fn == nil {
+					return true
+				}
+				switch fn.FullName() {
+				case "(*sync.WaitGroup).Wait", "(*sync.Cond).Wait":
+					joins = true
+				}
+				if fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), "internal/conc") {
+					joins = true
+				}
+			}
+			return true
+		})
+		if joins {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"cpsdyn/internal/analysis/analysistest"
+	"cpsdyn/internal/analysis/goroleak"
+)
+
+func TestPositive(t *testing.T) { analysistest.Run(t, "testdata/src/a", goroleak.Analyzer) }
+
+func TestNegative(t *testing.T) { analysistest.Run(t, "testdata/src/b", goroleak.Analyzer) }
+
+func TestAnnotatedExemption(t *testing.T) { analysistest.Run(t, "testdata/src/c", goroleak.Analyzer) }

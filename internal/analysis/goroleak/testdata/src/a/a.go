@@ -1,0 +1,24 @@
+// Package a holds goroleak positives: go statements with no reachable
+// join and no cancellation bound.
+package a
+
+func produce(c chan int) { c <- 1 }
+
+func fireAndForget(work func()) {
+	go work() // want `no reachable join`
+}
+
+func helperSpawn(ch chan int) {
+	go func() { ch <- 1 }() // want `no reachable join`
+}
+
+func spawnAndReturn(c chan int) chan int {
+	go produce(c) // want `no reachable join`
+	return c
+}
+
+func spawnOnSomePath(c chan int, hot bool) {
+	if hot {
+		go produce(c) // want `no reachable join`
+	}
+}

@@ -1,0 +1,66 @@
+// Package b holds goroleak negatives: every spawn is joined or bounded by
+// its context.
+package b
+
+import (
+	"context"
+	"sync"
+)
+
+func handle(int) {}
+
+func waitGroupJoined(xs []int) {
+	var wg sync.WaitGroup
+	for range xs {
+		wg.Add(1)
+		go func() { defer wg.Done() }()
+	}
+	wg.Wait()
+}
+
+func channelJoined(f func() int) int {
+	done := make(chan int, 1)
+	go func() { done <- f() }()
+	return <-done
+}
+
+func selectJoined(ctx context.Context, f func() int) int {
+	done := make(chan int, 1)
+	go func() { done <- f() }()
+	select {
+	case v := <-done:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// bodyWatchesDone needs no join: cancellation bounds the goroutine.
+func bodyWatchesDone(ctx context.Context, ticks chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case ticks <- 1:
+			}
+		}
+	}()
+}
+
+// loopRecvThenSpawn joins through the loop's back edge: the next
+// iteration's channel receive is the join point.
+func loopRecvThenSpawn(ch chan int) {
+	for v := range ch {
+		go handle(v)
+	}
+}
+
+func rangeJoined(results chan int, f func() int) int {
+	go func() { results <- f() }()
+	s := 0
+	for v := range results {
+		s += v
+	}
+	return s
+}

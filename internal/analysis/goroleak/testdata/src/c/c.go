@@ -1,0 +1,20 @@
+// Package c holds goroleak exemption cases: //cpsdyn:detached on the go
+// statement's line (or the line above) is honoured, an unannotated
+// sibling stays flagged.
+package c
+
+func detachedAbove(logc chan string) {
+	//cpsdyn:detached log drain is process-lifetime by design
+	go func() {
+		for range logc {
+		}
+	}()
+}
+
+func detachedSameLine(f func()) {
+	go f() //cpsdyn:detached fire-and-forget metric flush
+}
+
+func unannotated(f func()) {
+	go f() // want `no reachable join`
+}

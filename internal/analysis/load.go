@@ -163,7 +163,9 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			// Fold this package's function summaries in. go list -deps
 			// emits dependencies before dependents, so callee facts are
 			// already present when their callers are scanned.
-			facts.addPackageFacts(info, files)
+			if !factsSkip[lp.ImportPath] {
+				facts.addPackageFacts(info, files)
+			}
 		}
 		if target {
 			if len(typeErrs) > 0 || parseFailed {

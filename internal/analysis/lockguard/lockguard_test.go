@@ -1,0 +1,14 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"cpsdyn/internal/analysis/analysistest"
+	"cpsdyn/internal/analysis/lockguard"
+)
+
+func TestPositive(t *testing.T) { analysistest.Run(t, "testdata/src/a", lockguard.Analyzer) }
+
+func TestNegative(t *testing.T) { analysistest.Run(t, "testdata/src/b", lockguard.Analyzer) }
+
+func TestAnnotatedExemption(t *testing.T) { analysistest.Run(t, "testdata/src/c", lockguard.Analyzer) }

@@ -1,0 +1,40 @@
+// Package c holds lockguard exemption cases: //cpsdyn:lock-across on the
+// declaration silences the held-across-blocking check (and only that
+// check), an unannotated sibling stays flagged.
+package c
+
+import "sync"
+
+type q struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// push deliberately publishes under the lock: the consumer drains fast
+// and a watchdog bounds the wait.
+//
+//cpsdyn:lock-across consumer drains within the watchdog budget
+func push(s *q, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v
+}
+
+// pushUnannotated is the same shape without the annotation.
+func pushUnannotated(s *q, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want `held across channel send`
+}
+
+// leakStillFlagged shows the annotation never exempts the
+// release-on-all-paths check — a leaked lock is always a bug.
+//
+//cpsdyn:lock-across the annotation covers blocking only
+func leakStillFlagged(s *q, fail bool) {
+	s.mu.Lock() // want `not released on every path`
+	if fail {
+		return
+	}
+	s.mu.Unlock()
+}
