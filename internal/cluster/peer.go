@@ -100,6 +100,7 @@ func openStream(ctx context.Context, client *http.Client, p *Peer, maxPending in
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
 	req.Header.Set(HopHeader, "1")
+	//cpsdyn:detached bounded by sctx: cancelling it aborts client.Do and poisons the pipe, and fail() closes dead so every waiter returns
 	go func() {
 		resp, err := client.Do(req)
 		if err != nil {
