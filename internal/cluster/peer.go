@@ -207,6 +207,8 @@ func (st *peerStream) alive() bool {
 // wedged peer — via a watchdog that tears the stream down: rows queued
 // behind a stalled one would be exactly as late, so the session's later rows
 // reopen or fall back instead of waiting in line.
+//
+//cpsdyn:lock-across the pipe write under sendMu keeps queue push and line write atomic; the watchdog bounds a stall by tearing the stream down
 func (st *peerStream) roundTrip(ctx context.Context, line []byte, timeout time.Duration) ([]byte, error) {
 	cell := &pendingRow{done: make(chan []byte, 1)}
 	var settled atomic.Bool
