@@ -2,8 +2,8 @@
 // one line must be matched as a multiset against two want patterns.
 package multi
 
-func boom() {}
+func boom() int { return 0 }
 
-func f() {
-	boom(); boom() // want `boom` `boom`
+func f() int {
+	return boom() + boom() // want `boom` `boom`
 }
