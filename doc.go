@@ -119,7 +119,7 @@
 //
 // # Enforced invariants
 //
-// Four project invariants are machine-checked by the internal/analysis
+// Seven project invariants are machine-checked by the internal/analysis
 // suite, run as a blocking CI gate via cmd/cpsdynlint:
 //
 //   - Context flow (ctxflow): library code under internal/ neither mints
@@ -138,6 +138,25 @@
 //   - Observability parity (metricsync): every counter in the /statsz JSON
 //     has a /metrics Prometheus twin and vice versa, statically at the AST
 //     level and dynamically by internal/service's scrape-based parity test.
+//   - Lock discipline (lockguard): a mutex acquired in internal/ or cmd/
+//     code is released on every path to a function exit, and is never held
+//     across an operation that may block — channel operations, network
+//     I/O, context/WaitGroup waits — as summarised transitively by the
+//     cross-package facts internal/analysis.Load derives.
+//   - Goroutine lifecycle (goroleak): every go statement in internal/
+//     either reaches a join (WaitGroup/Cond Wait, channel receive, select,
+//     range over a channel, a conc pool) on some path after the spawn, or
+//     the goroutine body watches ctx.Done() — no fire-and-forget work that
+//     outlives its request.
+//   - Atomic consistency (atomicmix): a variable or field accessed through
+//     sync/atomic anywhere is never plainly read or written elsewhere —
+//     the mixed access the race detector only catches when both sides
+//     happen to run.
+//
+// The last three are path-sensitive: they run forward dataflow over the
+// intraprocedural control-flow graphs of internal/analysis/cfg, consulting
+// per-function blocks/spawns summaries propagated bottom-up through the
+// whole go list -deps closure (internal/analysis.Facts).
 //
 // Deliberate exceptions are declared where they occur, never in a central
 // allowlist, using //cpsdyn: directives (each carrying its justification
@@ -150,6 +169,12 @@
 //	//cpsdyn:metrics-source       on the /metrics handler (metricsync input)
 //	//cpsdyn:metrics-only <why>   line comment: metric with no JSON twin
 //	cpsdyn:"statsz-only"          struct tag: JSON counter with no metric
+//	//cpsdyn:lock-across <why>    on a function: may hold a lock across a
+//	                              blocking operation (leaks still flagged)
+//	//cpsdyn:detached <why>       on or above a go statement: deliberately
+//	                              unjoined goroutine
+//	//cpsdyn:nonatomic <why>      line comment: plain access to an
+//	                              atomically-updated variable is safe here
 //
 // See internal/analysis/README.md for the analyzer framework and how to
 // add a check.
