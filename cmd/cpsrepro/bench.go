@@ -1,0 +1,284 @@
+package main
+
+// bench-export runs the kernel benchmarks that gate this repository's
+// performance trajectory (matrix exponentials, discretisation, the warm
+// fleet sweep) hermetically via testing.Benchmark — no `go test`
+// subprocess — and writes them as one JSON report (BENCH_N.json is the
+// committed artefact per perf PR). bench-compare diffs two such reports
+// with benchstat-style semantics: it fails on a >threshold geometric-mean
+// regression in ns/op or on any allocs/op increase, which is what the CI
+// bench-compare job runs against the merge base.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"cpsdyn/internal/core"
+	"cpsdyn/internal/lti"
+	"cpsdyn/internal/mat"
+	"cpsdyn/internal/plants"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	Iterations  int     `json:"iterations"`
+}
+
+type benchReport struct {
+	Schema     int           `json:"schema"`
+	GoVersion  string        `json:"goVersion"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// benchKernelMatrix mirrors internal/mat's benchMatrix: a deterministic
+// well-conditioned order-n matrix needing a couple of squaring steps.
+func benchKernelMatrix(n int) *mat.Matrix {
+	r := rand.New(rand.NewSource(int64(n)))
+	a := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, r.NormFloat64())
+		}
+		a.Set(i, i, a.At(i, i)-1)
+	}
+	return a
+}
+
+func benchFleet() []*core.Application {
+	poles := func(scale float64) []complex128 {
+		return []complex128{complex(0.80*scale, 0), complex(0.70*scale, 0), 0.05}
+	}
+	apps := make([]*core.Application, 4)
+	for i := range apps {
+		apps[i] = &core.Application{
+			Name:     fmt.Sprintf("bench-%d", i),
+			Plant:    plants.Servo(),
+			H:        0.020,
+			DelayTT:  0.002,
+			DelayET:  0.020,
+			Eth:      0.1,
+			X0:       []float64{0, 2.0},
+			R:        8,
+			Deadline: 2 + float64(i),
+			FrameID:  i + 1,
+			PolesTT:  poles(1 - 0.01*float64(i)),
+			PolesET:  []complex128{0.93, 0.88, 0.10},
+		}
+	}
+	return apps
+}
+
+// kernelBenchmarks is the fixed suite both bench-export and the CI gate
+// run; names are stable across PRs so reports stay comparable.
+func kernelBenchmarks() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	var out []struct {
+		name string
+		fn   func(b *testing.B)
+	}
+	for _, n := range []int{2, 4, 6} {
+		a := benchKernelMatrix(n)
+		out = append(out, struct {
+			name string
+			fn   func(b *testing.B)
+		}{fmt.Sprintf("Expm/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mat.Expm(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}})
+		ws := mat.NewExpmWorkspace(n)
+		dst := mat.New(n, n)
+		out = append(out, struct {
+			name string
+			fn   func(b *testing.B)
+		}{fmt.Sprintf("ExpmTo/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := mat.ExpmTo(dst, a, ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}})
+	}
+	servo := plants.Servo()
+	out = append(out, struct {
+		name string
+		fn   func(b *testing.B)
+	}{"Discretize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := lti.Discretize(servo, 0.020, 0.002); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}})
+	apps := benchFleet()
+	warm := make([]*core.Derived, len(apps))
+	ctx := context.Background()
+	out = append(out, struct {
+		name string
+		fn   func(b *testing.B)
+	}{"DeriveFleetWarm", func(b *testing.B) {
+		if err := core.DeriveFleetInto(ctx, warm, apps, core.FleetOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := core.DeriveFleetInto(ctx, warm, apps, core.FleetOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}})
+	return out
+}
+
+// runBenchExport measures the kernel suite and writes the JSON report.
+// -count N repeats each benchmark and keeps the fastest ns/op (and the
+// worst allocs/op), damping scheduler noise the way benchstat's min-based
+// summaries do.
+func runBenchExport(args []string) error {
+	fs := flag.NewFlagSet("bench-export", flag.ExitOnError)
+	out := fs.String("out", "-", "output file (- = stdout)")
+	count := fs.Int("count", 3, "runs per benchmark; fastest wins")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *count < 1 {
+		*count = 1
+	}
+	report := benchReport{
+		Schema:     1,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, bm := range kernelBenchmarks() {
+		var best benchResult
+		for c := 0; c < *count; c++ {
+			r := testing.Benchmark(bm.fn)
+			res := benchResult{
+				Name:        bm.name,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				Iterations:  r.N,
+			}
+			if c == 0 || res.NsPerOp < best.NsPerOp {
+				best.Name, best.NsPerOp, best.BytesPerOp, best.Iterations = res.Name, res.NsPerOp, res.BytesPerOp, res.Iterations
+			}
+			if res.AllocsPerOp > best.AllocsPerOp {
+				best.AllocsPerOp = res.AllocsPerOp
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%-20s %12.1f ns/op %8d B/op %6d allocs/op\n",
+			best.Name, best.NsPerOp, best.BytesPerOp, best.AllocsPerOp)
+		report.Benchmarks = append(report.Benchmarks, best)
+	}
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
+}
+
+// runBenchCompare diffs two bench-export reports (old, new) and fails on
+// a geometric-mean ns/op regression beyond -threshold, or on any
+// benchmark whose allocs/op increased.
+func runBenchCompare(args []string) error {
+	fs := flag.NewFlagSet("bench-compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.15, "allowed geomean ns/op regression (0.15 = +15%)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: cpsrepro bench-compare [-threshold f] old.json new.json")
+	}
+	oldRep, err := readBenchReport(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newRep, err := readBenchReport(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]benchResult, len(oldRep.Benchmarks))
+	for _, r := range oldRep.Benchmarks {
+		oldBy[r.Name] = r
+	}
+	var names []string
+	for _, r := range newRep.Benchmarks {
+		if _, ok := oldBy[r.Name]; ok {
+			names = append(names, r.Name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("bench-compare: no common benchmarks between %s and %s", fs.Arg(0), fs.Arg(1))
+	}
+	newBy := make(map[string]benchResult, len(newRep.Benchmarks))
+	for _, r := range newRep.Benchmarks {
+		newBy[r.Name] = r
+	}
+	logSum := 0.0
+	var allocRegressions []string
+	fmt.Printf("%-20s %14s %14s %8s %s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "allocs old→new")
+	for _, name := range names {
+		o, n := oldBy[name], newBy[name]
+		ratio := n.NsPerOp / o.NsPerOp
+		logSum += math.Log(ratio)
+		fmt.Printf("%-20s %14.1f %14.1f %8.3f %d→%d\n",
+			name, o.NsPerOp, n.NsPerOp, ratio, o.AllocsPerOp, n.AllocsPerOp)
+		if n.AllocsPerOp > o.AllocsPerOp {
+			allocRegressions = append(allocRegressions,
+				fmt.Sprintf("%s: %d → %d allocs/op", name, o.AllocsPerOp, n.AllocsPerOp))
+		}
+	}
+	geomean := math.Exp(logSum / float64(len(names)))
+	fmt.Printf("geomean ns/op ratio: %.3f (gate: ≤ %.3f)\n", geomean, 1+*threshold)
+	if len(allocRegressions) > 0 {
+		return fmt.Errorf("bench-compare: allocs/op regressed: %v", allocRegressions)
+	}
+	if geomean > 1+*threshold {
+		return fmt.Errorf("bench-compare: geomean ns/op regressed %.1f%% (limit %.0f%%)",
+			(geomean-1)*100, *threshold*100)
+	}
+	return nil
+}
+
+func readBenchReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}

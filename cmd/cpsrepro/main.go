@@ -17,6 +17,11 @@
 //	cpsrepro derive [-stream] f derive your own fleet from a JSON file or "-"
 //	                            (stdin); with -stream, NDJSON in/out through
 //	                            the cpsdynd streaming codec
+//	cpsrepro bench-export       run the kernel benchmark suite hermetically
+//	                            and emit a JSON report (-out, -count)
+//	cpsrepro bench-compare      diff two bench-export reports; nonzero exit
+//	                            on a >threshold geomean ns/op regression or
+//	                            any allocs/op increase
 //	cpsrepro all                everything except the CSV dumps
 //
 // Every command accepts -workers N to bound the dwell-curve sampling
@@ -59,6 +64,20 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
+	// The bench subcommands own their flags (-out/-count/-threshold), so
+	// they parse os.Args directly instead of the shared reproduction flags.
+	switch cmd {
+	case "bench-export", "bench-compare":
+		run := runBenchExport
+		if cmd == "bench-compare" {
+			run = runBenchCompare
+		}
+		if err := run(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "cpsrepro:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	csv := fs.Bool("csv", false, "emit CSV instead of an ASCII plot")
 	workers := fs.Int("workers", 0, "dwell-curve sampling fan-out on cache misses (0 = GOMAXPROCS, 1 = sequential)")
@@ -118,8 +137,10 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: cpsrepro <command> [-csv] [-workers N]
        cpsrepro derive [-stream] [-workers N] fleet.json|-
+       cpsrepro bench-export [-out file] [-count N]
+       cpsrepro bench-compare [-threshold f] old.json new.json
 
-commands: walkthrough casestudy table1 fig3 fig4 fig5 sweep-kp segments random methods race derive all`)
+commands: walkthrough casestudy table1 fig3 fig4 fig5 sweep-kp segments random methods race derive bench-export bench-compare all`)
 }
 
 // runDerive derives a user-supplied fleet offline through the service codec:

@@ -51,6 +51,50 @@
 // probes speculatively in parallel). A cancelled computation never poisons
 // a single-flight entry: waiters with live contexts retake it.
 //
+// # Performance
+//
+// The numeric kernels in internal/mat follow an explicit-workspace
+// discipline: every allocating operation has a To-suffixed twin that writes
+// into caller-held memory (MulTo, AddTo, SubTo, ScaleTo, LU.SolveTo,
+// ExpmTo, ExpmIntegralTo) and is annotated //cpsdyn:allocfree, so the
+// allocfree analyzer enforces the zero-allocation contract statically and
+// testing.AllocsPerRun tests pin it at runtime. ExpmTo runs the Padé
+// [6/6] scaling-and-squaring exponential entirely inside a reusable
+// mat.ExpmWorkspace; the classic names (Expm, ExpmIntegral, Solve, Mul)
+// remain as thin wrappers that rent a workspace from the process-wide
+// mat.SharedPool (a sync.Pool keyed by matrix order, hit/miss/put counters
+// in /statsz and /metrics), so legacy call sites get pooling for free.
+//
+// Aliasing rules: dst of MulTo must not alias either operand (checked,
+// panics); AddTo/SubTo/ScaleTo/CopyTo allow any aliasing; LU.SolveTo
+// allows dst to alias the right-hand side. For orders n ≤ 4 — the band
+// that dominates automotive plants — MulTo and MulVecTo dispatch at
+// runtime to fully unrolled kernels whose accumulation order is
+// bit-identical to the generic loop, so the determinism contract (and the
+// byte-exact cache keys built on it) survive the fast path; property
+// tests compare the two paths with math.Float64bits.
+//
+// One augmented Van Loan exponential yields both Φ(t) and Γ(t), and the
+// semigroup identity Γ(h) = Γ(h−d) + Φ(h−d)·Γ(d) turns the delay-split
+// discretisation into two exponential evaluations instead of four
+// (lti.Discretize; lti.DelayTable caches Γ(h) at construction and spends
+// exactly one evaluation per queried delay). Above the kernels, every
+// core.Application carries a derive memo — a bit-exact snapshot of the
+// fields that feed Derive plus the last *Derived — so a warm
+// core.DeriveFleetInto sweep over an unchanged fleet is a sequence of
+// pointer loads: zero allocations, no goroutines, verified by an
+// AllocsPerRun test and benchmarked by BenchmarkDeriveFleetWarm.
+// Mutating any derivation input in place invalidates the memo on the
+// next call. Because the memo embeds an atomic.Pointer, Application
+// values must not be copied; use CloneShallow.
+//
+// The benchmark trajectory is CI-gated: cpsrepro bench-export runs the
+// kernel suite hermetically (testing.Benchmark in-process) and writes a
+// JSON report (BENCH_8.json is the committed artefact), and the CI
+// bench-compare job diffs every PR against its merge base, failing on a
+// >15% geometric-mean ns/op regression or on any benchmark whose
+// allocs/op increased.
+//
 // # Service mode (cmd/cpsdynd)
 //
 // cmd/cpsdynd serves the pipeline as a long-running HTTP/JSON service so

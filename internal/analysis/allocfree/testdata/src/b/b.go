@@ -34,3 +34,25 @@ func settle(m *matrix, cur, nxt []float64, steps int) [2]float64 {
 	}
 	return [2]float64{cur[0], nxt[0]}
 }
+
+// workspace mirrors the explicit-workspace exponential kernels: all
+// scratch is preallocated matrix fields that steady-state bodies swap
+// between.
+type workspace struct {
+	pow, powNext, term *matrix
+}
+
+// hornerStep mirrors the pooled-workspace Padé loop: pointer-field
+// ping-pong on a reusable workspace, indexed resets, and writes through
+// caller-held destinations — none of it allocates.
+//
+//cpsdyn:allocfree
+func hornerStep(dst *matrix, ws *workspace, coeff float64) {
+	for i := range ws.term.data {
+		ws.term.data[i] = 0
+	}
+	ws.pow, ws.powNext = ws.powNext, ws.pow
+	for i, v := range ws.pow.data {
+		dst.data[i] += coeff * v
+	}
+}

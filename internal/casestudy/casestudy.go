@@ -286,7 +286,7 @@ func Calibrate(ctx context.Context, app *core.Application, targetTT, targetET, e
 	// of searchRho can overlap without synchronising on app.
 	// TT first (ET fixed at a safe slow default), then ET.
 	rhoTT, err := searchRho(ctx, func(ctx context.Context, rho float64) (float64, error) {
-		probe := *app
+		probe := app.CloneShallow()
 		probe.PolesTT = ttPoles(rho)
 		probe.PolesET = etPoles(0.95)
 		tt, _, err := probe.ProbeSettleContext(ctx)
@@ -296,7 +296,7 @@ func Calibrate(ctx context.Context, app *core.Application, targetTT, targetET, e
 		return fmt.Errorf("TT calibration: %w", err)
 	}
 	rhoET, err := searchRho(ctx, func(ctx context.Context, rho float64) (float64, error) {
-		probe := *app
+		probe := app.CloneShallow()
 		probe.PolesTT = ttPoles(rhoTT)
 		probe.PolesET = etPoles(rho)
 		_, et, err := probe.ProbeSettleContext(ctx)

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 
 	"cpsdyn/internal/conc"
 	"cpsdyn/internal/sched"
@@ -31,18 +32,52 @@ func DeriveFleet(ctx context.Context, apps []*Application, opts FleetOptions) ([
 	if len(apps) == 0 {
 		return out, ctx.Err()
 	}
+	if err := DeriveFleetInto(ctx, out, apps, opts); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DeriveFleetInto is DeriveFleet writing into a caller-held result slice,
+// which must have exactly one slot per application. A fleet whose every
+// application still matches its warm-derivation memo is served by a
+// sequential sweep of pointer loads — zero allocations, no goroutines —
+// which is the steady state of a service re-deriving an unchanged fleet
+// per request; any miss falls back to the concurrent engine. On error the
+// out slice is zeroed, mirroring DeriveFleet's nil result.
+func DeriveFleetInto(ctx context.Context, out []*Derived, apps []*Application, opts FleetOptions) error {
+	if len(out) != len(apps) {
+		return fmt.Errorf("core: DeriveFleetInto: out has %d slots for %d apps", len(out), len(apps))
+	}
+	if err := ctx.Err(); err != nil {
+		clear(out)
+		return err
+	}
+	warm := true
+	for i, a := range apps {
+		if m := a.memo.Load(); m != nil && m.matches(a) {
+			out[i] = m.derived
+		} else {
+			out[i] = nil
+			warm = false
+		}
+	}
+	if warm {
+		return nil
+	}
 	errs := make([]error, len(apps))
 	ferr := conc.ForEachCtx(ctx, len(apps), opts.Workers, func(i int) error {
 		out[i], errs[i] = apps[i].DeriveContext(ctx)
 		return nil // app failures are aggregated, not dispatch-stopping
 	})
+	if ferr == nil {
+		ferr = errors.Join(errs...)
+	}
 	if ferr != nil {
-		return nil, ferr
+		clear(out)
+		return ferr
 	}
-	if err := errors.Join(errs...); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return nil
 }
 
 // schedApps bridges a derived fleet to the schedulability layer.

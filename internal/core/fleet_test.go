@@ -20,6 +20,88 @@ func fleetApps() []*Application {
 	}
 }
 
+// A fleet whose applications are untouched since their last derivation is
+// served entirely from the per-application memos: no goroutines, no cache
+// hashing, zero allocations. This is the steady state of a service
+// re-deriving an unchanged fleet on every request.
+func TestDeriveFleetWarmZeroAlloc(t *testing.T) {
+	apps := fleetApps()
+	out := make([]*Derived, len(apps))
+	ctx := context.Background()
+	if err := DeriveFleetInto(ctx, out, apps, FleetOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	warm := make([]*Derived, len(apps))
+	copy(warm, out)
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := DeriveFleetInto(ctx, out, apps, FleetOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("warm DeriveFleetInto allocates %.1f per run, want 0", allocs)
+	}
+	for i := range out {
+		if out[i] != warm[i] {
+			t.Fatalf("warm sweep rebuilt result %d instead of reusing the memo", i)
+		}
+	}
+}
+
+// The memo serves the identical Derived until any input field — including
+// the contents of a shared plant matrix — is mutated, at which point the
+// full pipeline re-runs.
+func TestDeriveMemoInvalidatesOnMutation(t *testing.T) {
+	app := servoApp("memo", 1, 3)
+	d1, err := app.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := app.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 != d1 {
+		t.Fatal("unchanged application re-derived instead of serving the memo")
+	}
+	// In-place mutation of the plant matrix contents must be detected even
+	// though the pointer is unchanged.
+	app.Plant.A.Set(0, 1, app.Plant.A.At(0, 1)*1.5)
+	d3, err := app.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d2 {
+		t.Fatal("mutated plant served the stale memo")
+	}
+	if d3.DiscTT.Phi.EqualTol(d2.DiscTT.Phi, 0) {
+		t.Fatal("re-derivation did not see the mutated dynamics")
+	}
+	if d4, err := app.Derive(); err != nil || d4 != d3 {
+		t.Fatalf("memo did not re-arm after recomputation: %v", err)
+	}
+}
+
+// DeriveFleetInto must reject a mis-sized result slice and must zero the
+// slice on error rather than leaving partial results behind.
+func TestDeriveFleetIntoContract(t *testing.T) {
+	apps := fleetApps()
+	if err := DeriveFleetInto(context.Background(), make([]*Derived, 1), apps, FleetOptions{}); err == nil || !strings.Contains(err.Error(), "slots") {
+		t.Fatalf("mis-sized out slice: err = %v", err)
+	}
+	bad := servoApp("bad", 9, 3)
+	bad.H = -1
+	mixed := append(fleetApps(), bad)
+	out := make([]*Derived, len(mixed))
+	if err := DeriveFleetInto(context.Background(), out, mixed, FleetOptions{Workers: 2}); err == nil {
+		t.Fatal("poisoned fleet derived without error")
+	}
+	for i, d := range out {
+		if d != nil {
+			t.Fatalf("out[%d] not zeroed on error", i)
+		}
+	}
+}
+
 // The concurrent engine must produce exactly what sequential Derive does,
 // in input order, for any worker count.
 func TestDeriveFleetMatchesSequential(t *testing.T) {

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+
+	"cpsdyn/internal/mat"
+)
+
+// appMemo caches the most recent successful derivation of one Application
+// together with a deep snapshot of every input field, so a warm
+// DeriveContext (and the DeriveFleetInto sweep above it) is a pointer load
+// plus a bit-exact field comparison — no hashing, no allocation, no lock.
+// The snapshot is deliberately bit-exact (math.Float64bits) to mirror the
+// central cache's key discipline: any mutation, however small, forces a
+// full re-derivation.
+type appMemo struct {
+	snap    appSnapshot
+	derived *Derived
+}
+
+// appSnapshot deep-copies the Application fields a derivation reads, so
+// later mutations of the live struct (or of the matrices it shares) are
+// detected instead of silently serving stale artefacts. R, Deadline and
+// FrameID do not shape the Derived value — it reaches them through the
+// live App pointer — but they gate Validate, so they are snapshotted too:
+// mutating one re-runs the full path including validation.
+type appSnapshot struct {
+	name                     string
+	plantName                string
+	plantA, plantB, plantC   *mat.Matrix
+	h, delayTT, delayET, eth float64
+	x0                       []float64
+	r, deadline              float64
+	frameID                  int
+	polesTT, polesET         []complex128
+	qtt, rtt, qet, ret       *mat.Matrix
+}
+
+func cloneMatrix(m *mat.Matrix) *mat.Matrix {
+	if m == nil {
+		return nil
+	}
+	return m.Clone()
+}
+
+func snapshotApp(a *Application) appSnapshot {
+	return appSnapshot{
+		name:      a.Name,
+		plantName: a.Plant.Name,
+		plantA:    cloneMatrix(a.Plant.A),
+		plantB:    cloneMatrix(a.Plant.B),
+		plantC:    cloneMatrix(a.Plant.C),
+		h:         a.H,
+		delayTT:   a.DelayTT,
+		delayET:   a.DelayET,
+		eth:       a.Eth,
+		x0:        append([]float64(nil), a.X0...),
+		r:         a.R,
+		deadline:  a.Deadline,
+		frameID:   a.FrameID,
+		polesTT:   append([]complex128(nil), a.PolesTT...),
+		polesET:   append([]complex128(nil), a.PolesET...),
+		qtt:       cloneMatrix(a.QTT),
+		rtt:       cloneMatrix(a.RTT),
+		qet:       cloneMatrix(a.QET),
+		ret:       cloneMatrix(a.RET),
+	}
+}
+
+// matEqualBits compares two possibly-nil matrices bit-exactly.
+//
+//cpsdyn:allocfree probe on the warm fleet sweep; TestDeriveFleetWarmZeroAlloc pins the whole sweep
+func matEqualBits(a, b *mat.Matrix) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.EqualBits(b)
+}
+
+//cpsdyn:allocfree probe on the warm fleet sweep
+func floatsEqualBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if math.Float64bits(v) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+//cpsdyn:allocfree probe on the warm fleet sweep
+func polesEqualBits(a, b []complex128) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if math.Float64bits(real(v)) != math.Float64bits(real(b[i])) ||
+			math.Float64bits(imag(v)) != math.Float64bits(imag(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// matches reports whether the Application still looks exactly like it did
+// when the memoised derivation ran.
+//
+//cpsdyn:allocfree the warm-path probe DeriveFleetInto sweeps once per app
+func (m *appMemo) matches(a *Application) bool {
+	s := &m.snap
+	return a.Plant != nil &&
+		s.name == a.Name &&
+		s.plantName == a.Plant.Name &&
+		s.h == a.H && s.delayTT == a.DelayTT && s.delayET == a.DelayET &&
+		s.eth == a.Eth &&
+		s.r == a.R && s.deadline == a.Deadline && s.frameID == a.FrameID &&
+		matEqualBits(s.plantA, a.Plant.A) &&
+		matEqualBits(s.plantB, a.Plant.B) &&
+		matEqualBits(s.plantC, a.Plant.C) &&
+		floatsEqualBits(s.x0, a.X0) &&
+		polesEqualBits(s.polesTT, a.PolesTT) &&
+		polesEqualBits(s.polesET, a.PolesET) &&
+		matEqualBits(s.qtt, a.QTT) &&
+		matEqualBits(s.rtt, a.RTT) &&
+		matEqualBits(s.qet, a.QET) &&
+		matEqualBits(s.ret, a.RET)
+}

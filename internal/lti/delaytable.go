@@ -16,10 +16,11 @@ import (
 // schedule produces only a handful of distinct delays, so the cache stays
 // tiny.
 type DelayTable struct {
-	plant *Continuous
-	h     float64
-	phi   *mat.Matrix
-	cache map[int64]gammaPair
+	plant  *Continuous
+	h      float64
+	phi    *mat.Matrix
+	gammaH *mat.Matrix // Γ(h) = ∫₀ʰ e^{As} ds · B, shared by every delay split
+	cache  map[int64]gammaPair
 }
 
 type gammaPair struct {
@@ -34,15 +35,24 @@ func NewDelayTable(plant *Continuous, h float64) (*DelayTable, error) {
 	if h <= 0 {
 		return nil, fmt.Errorf("lti: DelayTable: sampling period %g must be positive", h)
 	}
-	phi, err := mat.Expm(plant.A.Scale(h))
+	// One augmented exponential yields Φ(h) and Γ(h) together; Γ(h) then
+	// prices every per-delay split at a single further evaluation via
+	// Γ1(d) = Γ(h) − Γ(h−d).
+	n, m := plant.Order(), plant.Inputs()
+	phi := mat.New(n, n)
+	gammaH := mat.New(n, m)
+	ws := mat.SharedPool.Get(n + m)
+	err := mat.ExpmIntegralTo(phi, gammaH, plant.A, plant.B, h, ws)
+	mat.SharedPool.Put(ws)
 	if err != nil {
 		return nil, err
 	}
 	return &DelayTable{
-		plant: plant,
-		h:     h,
-		phi:   phi,
-		cache: make(map[int64]gammaPair),
+		plant:  plant,
+		h:      h,
+		phi:    phi,
+		gammaH: gammaH,
+		cache:  make(map[int64]gammaPair),
 	}, nil
 }
 
@@ -51,6 +61,12 @@ func (t *DelayTable) Phi() *mat.Matrix { return t.phi }
 
 // H returns the sampling period.
 func (t *DelayTable) H() float64 { return t.h }
+
+// Reset drops every cached (Γ0, Γ1) pair. Benchmarks use it to defeat the
+// memo and measure the raw per-delay evaluation cost.
+func (t *DelayTable) Reset() {
+	clear(t.cache)
+}
 
 // Gammas returns (Γ0(d), Γ1(d)) for a delay d ∈ [0, h].
 func (t *DelayTable) Gammas(d float64) (g0, g1 *mat.Matrix, err error) {
@@ -61,15 +77,19 @@ func (t *DelayTable) Gammas(d float64) (g0, g1 *mat.Matrix, err error) {
 	if p, ok := t.cache[key]; ok {
 		return p.g0, p.g1, nil
 	}
-	phiHmD, g0, err := mat.ExpmIntegral(t.plant.A, t.plant.B, t.h-d)
+	// Γ0 = Γ(h−d) from one augmented evaluation; Γ1 = Φ(h−d)·Γ(d) falls
+	// out of the semigroup split Γ(h) = Γ(h−d) + Φ(h−d)·Γ(d) as
+	// Γ(h) − Γ(h−d), so the construction-time Γ(h) is the only other term.
+	n, m := t.plant.Order(), t.plant.Inputs()
+	g0 = mat.New(n, m)
+	phiHmD := mat.New(n, n) // not part of the pair
+	ws := mat.SharedPool.Get(n + m)
+	err = mat.ExpmIntegralTo(phiHmD, g0, t.plant.A, t.plant.B, t.h-d, ws)
+	mat.SharedPool.Put(ws)
 	if err != nil {
 		return nil, nil, err
 	}
-	_, gammaD, err := mat.ExpmIntegral(t.plant.A, t.plant.B, d)
-	if err != nil {
-		return nil, nil, err
-	}
-	g1 = phiHmD.Mul(gammaD)
+	g1 = t.gammaH.Sub(g0)
 	t.cache[key] = gammaPair{g0: g0, g1: g1}
 	return g0, g1, nil
 }

@@ -79,21 +79,32 @@ func Discretize(c *Continuous, h, d float64) (*Discrete, error) {
 	if d < 0 || d > h {
 		return nil, fmt.Errorf("lti: plant %q: delay %g outside [0, h=%g]", c.Name, d, h)
 	}
-	phi, err := mat.Expm(c.A.Scale(h))
-	if err != nil {
+	// One augmented exponential per evaluation point: exp([A B; 0 0]·t)
+	// yields Φ(t) and Γ(t) together, and the semigroup split
+	//
+	//	Γ(h) = Γ(h−d) + Φ(h−d)·Γ(d)
+	//
+	// gives Γ1 = Φ(h−d)·Γ(d) = Γ(h) − Γ(h−d) directly, so the whole
+	// delay-split model costs two evaluations (one when d = 0) instead of
+	// the former three. The split integral itself: u[k−1] is held on
+	// [0, d), u[k] on [d, h), so Γ0 = Γ(h−d).
+	n, m := c.Order(), c.Inputs()
+	ws := mat.SharedPool.Get(n + m)
+	defer mat.SharedPool.Put(ws)
+	phi := mat.New(n, n)
+	gammaH := mat.New(n, m)
+	if err := mat.ExpmIntegralTo(phi, gammaH, c.A, c.B, h, ws); err != nil {
 		return nil, fmt.Errorf("lti: plant %q: %w", c.Name, err)
 	}
-	// Γ0 covers [0, h−d) where u[k] is active after arrival at t[k]+d ... the
-	// split integral: u[k−1] is held on [0, d), u[k] on [d, h).
-	phiHmD, gamma0, err := mat.ExpmIntegral(c.A, c.B, h-d)
-	if err != nil {
-		return nil, fmt.Errorf("lti: plant %q: %w", c.Name, err)
+	gamma0, gamma1 := gammaH, mat.New(n, m)
+	if d > 0 {
+		gamma0 = mat.New(n, m)
+		phiHmD := mat.New(n, n) // Φ(h−d), not part of the model
+		if err := mat.ExpmIntegralTo(phiHmD, gamma0, c.A, c.B, h-d, ws); err != nil {
+			return nil, fmt.Errorf("lti: plant %q: %w", c.Name, err)
+		}
+		gammaH.SubTo(gamma1, gamma0)
 	}
-	_, gammaD, err := mat.ExpmIntegral(c.A, c.B, d)
-	if err != nil {
-		return nil, fmt.Errorf("lti: plant %q: %w", c.Name, err)
-	}
-	gamma1 := phiHmD.Mul(gammaD)
 	cc := c.C
 	if cc == nil {
 		cc = mat.Identity(c.Order())

@@ -1,0 +1,102 @@
+package mat
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchMatrix returns a deterministic well-conditioned n×n matrix whose
+// exponential needs a couple of squaring steps — the shape of a scaled
+// plant matrix A·h after augmentation.
+func benchMatrix(n int) *Matrix {
+	r := rand.New(rand.NewSource(int64(n)))
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, r.NormFloat64())
+		}
+		a.Set(i, i, a.At(i, i)-1)
+	}
+	return a
+}
+
+// BenchmarkExpm measures the allocating entry point at the matrix orders
+// that dominate automotive plants (plant orders 2–4, augmented ~6).
+func BenchmarkExpm(b *testing.B) {
+	for _, n := range []int{2, 4, 6} {
+		a := benchMatrix(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Expm(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExpmTo measures the workspace exponential — the steady-state
+// per-plant kernel cost once pooling has absorbed all setup.
+func BenchmarkExpmTo(b *testing.B) {
+	for _, n := range []int{2, 4, 6} {
+		a := benchMatrix(n)
+		ws := NewExpmWorkspace(n)
+		dst := New(n, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := ExpmTo(dst, a, ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMulTo measures the in-place multiply (unrolled for n ≤ 4).
+func BenchmarkMulTo(b *testing.B) {
+	for _, n := range []int{2, 4, 6} {
+		x := benchMatrix(n)
+		y := benchMatrix(n)
+		dst := New(n, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				x.MulTo(dst, y)
+			}
+		})
+	}
+}
+
+// BenchmarkMul measures the allocating square multiply at kernel sizes.
+func BenchmarkMul(b *testing.B) {
+	for _, n := range []int{2, 4, 6} {
+		x := benchMatrix(n)
+		y := benchMatrix(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = x.Mul(y)
+			}
+		})
+	}
+}
+
+// BenchmarkSolve measures the allocating LU solve path (the Padé
+// denominator solve inside every Expm).
+func BenchmarkSolve(b *testing.B) {
+	for _, n := range []int{2, 4, 6} {
+		a := benchMatrix(n)
+		rhs := benchMatrix(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Solve(a, rhs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -4,7 +4,13 @@
 //
 // The package is deliberately minimal and dependency-free; matrices in this
 // repository are tiny (plant orders 2–4, augmented orders up to ~6), so
-// clarity and numerical robustness are favoured over asymptotic performance.
+// asymptotic cleverness buys nothing — the performance levers are allocation
+// and dispatch. Every hot op therefore has an explicit-workspace "To" twin
+// (MulTo, AddTo, SolveTo, ExpmTo, ...) that writes into caller-held storage
+// and allocates nothing in steady state, with the historical allocating
+// names kept as thin wrappers; see the package's workspace types (LU,
+// ExpmWorkspace, Pool) and the root doc.go Performance section for the
+// ownership and aliasing contract.
 package mat
 
 import (
@@ -127,29 +133,23 @@ func (m *Matrix) Col(j int) []float64 {
 // Add returns m + b.
 func (m *Matrix) Add(b *Matrix) *Matrix {
 	m.sameShape(b, "Add")
-	out := m.Clone()
-	for i, v := range b.data {
-		out.data[i] += v
-	}
+	out := New(m.rows, m.cols)
+	m.AddTo(out, b)
 	return out
 }
 
 // Sub returns m − b.
 func (m *Matrix) Sub(b *Matrix) *Matrix {
 	m.sameShape(b, "Sub")
-	out := m.Clone()
-	for i, v := range b.data {
-		out.data[i] -= v
-	}
+	out := New(m.rows, m.cols)
+	m.SubTo(out, b)
 	return out
 }
 
 // Scale returns s·m.
 func (m *Matrix) Scale(s float64) *Matrix {
-	out := m.Clone()
-	for i := range out.data {
-		out.data[i] *= s
-	}
+	out := New(m.rows, m.cols)
+	m.ScaleTo(out, s)
 	return out
 }
 
@@ -165,17 +165,7 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 		panic(fmt.Sprintf("mat: Mul shape mismatch %d×%d · %d×%d", m.rows, m.cols, b.rows, b.cols))
 	}
 	out := New(m.rows, b.cols)
-	for i := 0; i < m.rows; i++ {
-		for k := 0; k < m.cols; k++ {
-			a := m.data[i*m.cols+k]
-			if a == 0 {
-				continue
-			}
-			for j := 0; j < b.cols; j++ {
-				out.data[i*b.cols+j] += a * b.data[k*b.cols+j]
-			}
-		}
-	}
+	m.MulTo(out, b)
 	return out
 }
 
@@ -197,6 +187,10 @@ func (m *Matrix) MulVecTo(dst, v []float64) {
 	}
 	if len(dst) != m.rows {
 		panic(fmt.Sprintf("mat: MulVecTo dst length %d, want %d", len(dst), m.rows))
+	}
+	if m.cols >= 1 && m.cols <= maxUnrolled {
+		mulVecSmall(dst, m.data, v, m.rows, m.cols)
+		return
 	}
 	for i := 0; i < m.rows; i++ {
 		s := 0.0
@@ -293,6 +287,24 @@ func (m *Matrix) MaxAbsDiff(b *Matrix) float64 {
 		}
 	}
 	return max
+}
+
+// EqualBits reports whether m and b have identical shape and bit-identical
+// entries (math.Float64bits comparison, so −0 ≠ +0 and NaNs compare by
+// payload). This is the change-detection primitive for memo layers that
+// key on exact matrix contents.
+//
+//cpsdyn:allocfree probed once per app on the warm fleet-derivation sweep
+func (m *Matrix) EqualBits(b *Matrix) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if math.Float64bits(v) != math.Float64bits(b.data[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // EqualTol reports whether all entries of m and b agree within tol.

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"cpsdyn/internal/core"
+	"cpsdyn/internal/mat"
 	"cpsdyn/internal/switching"
 )
 
@@ -18,6 +19,7 @@ import (
 //cpsdyn:metrics-source
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	cache := core.DeriveCacheStats()
+	pool := mat.SharedPool.Stats()
 	srv := s.Stats()
 	var b strings.Builder
 	metric := func(name, typ, help string, v float64) {
@@ -33,6 +35,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"Derivation-cache current entry count.", float64(cache.Entries))
 	metric("cpsdynd_cache_bytes", "gauge",
 		"Derivation-cache approximate retained bytes.", float64(cache.Bytes))
+	metric("cpsdynd_pool_hits_total", "counter",
+		"Matrix-exponential workspace pool hits (reused workspaces).", float64(pool.Hits))
+	metric("cpsdynd_pool_misses_total", "counter",
+		"Matrix-exponential workspace pool misses (workspaces built).", float64(pool.Misses))
+	metric("cpsdynd_pool_puts_total", "counter",
+		"Matrix-exponential workspaces returned to the pool for reuse.", float64(pool.Puts))
 	metric("cpsdynd_requests_total", "counter",
 		"Compute requests completed (including failed and cancelled ones).", float64(srv.Requests))
 	metric("cpsdynd_rejected_total", "counter",

@@ -14,6 +14,7 @@ import (
 
 	"cpsdyn/internal/cluster"
 	"cpsdyn/internal/core"
+	"cpsdyn/internal/mat"
 	"cpsdyn/internal/switching"
 )
 
@@ -216,6 +217,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // per-peer health plus the peerRows/peerFallbacks counters.
 type StatszResponse struct {
 	Cache    core.CacheStats `json:"cache"`
+	Pool     mat.PoolStats   `json:"pool"`
 	Server   ServerStats     `json:"server"`
 	SimSteps uint64          `json:"simSteps"`
 	Gateway  *cluster.Stats  `json:"gateway,omitempty"`
@@ -228,6 +230,7 @@ type StatszResponse struct {
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	resp := StatszResponse{
 		Cache:    core.DeriveCacheStats(),
+		Pool:     mat.SharedPool.Stats(),
 		Server:   s.Stats(),
 		SimSteps: switching.SimSteps(),
 	}

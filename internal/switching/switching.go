@@ -271,13 +271,19 @@ func (s *System) SampleCurveWith(opts SampleCurveOptions) (*Curve, error) {
 	if workers > kET {
 		workers = kET
 	}
-	scratches := make([]*scratch, workers)
+	// One flat backing array carries every worker's ping-pong pair — the
+	// same flat-buffer idiom as the states prepass above — so the scratch
+	// cost is two allocations however wide the pool is, instead of three
+	// per shard.
+	flat := make([]float64, 2*workers*n)
+	scratches := make([]scratch, workers)
 	for w := range scratches {
-		scratches[w] = newScratch(n)
+		pair := flat[2*w*n : 2*(w+1)*n]
+		scratches[w] = scratch{cur: pair[:n:n], nxt: pair[n:]}
 	}
 	kdw := make([]int, kET)
 	err = conc.ForEachWorkerCtx(ctx, kET, workers, func(w, kwait int) error {
-		k, ok, err := s.settle(ctx, s.A2, states[kwait*n:(kwait+1)*n], horizon, scratches[w])
+		k, ok, err := s.settle(ctx, s.A2, states[kwait*n:(kwait+1)*n], horizon, &scratches[w])
 		if err != nil {
 			return err
 		}

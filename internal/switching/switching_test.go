@@ -282,6 +282,28 @@ func TestDwellStepsAllocationIsHorizonIndependent(t *testing.T) {
 	}
 }
 
+// The sampling scratch rides one flat backing array (the same idiom as the
+// prepass states buffer), so widening the worker pool must not add scratch
+// allocations — the only per-worker cost left is the conc layer's
+// goroutine-plus-closure pair. The old per-shard newScratch cost three
+// further allocations per worker; this pins the regression.
+func TestSampleCurveScratchAllocationIsWorkerIndependent(t *testing.T) {
+	s := nonNormalSystem()
+	measure := func(workers int) float64 {
+		return testing.AllocsPerRun(10, func() {
+			if _, err := s.SampleCurveWith(SampleCurveOptions{Workers: workers, Horizon: 20000}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	w1 := measure(1)
+	w8 := measure(8)
+	if perWorker := (w8 - w1) / 7; perWorker > 2.5 {
+		t.Fatalf("allocations grow by %.2f per extra worker (%g → %g), want ≤ 2 (goroutine machinery only)",
+			perWorker, w1, w8)
+	}
+}
+
 // The process-wide step counter advances with simulation work — the
 // observable the service cancellation tests rely on.
 func TestSimStepsCounterAdvances(t *testing.T) {
