@@ -33,11 +33,13 @@
 //	                   line (slotalloc -stream's schema), one fleet row
 //	                   flushed per allocation, in input order
 //	GET  /healthz      liveness probe
-//	GET  /statsz       derivation-cache hit/miss/eviction counters, server
-//	                   in-flight/timeout/cancellation counters, the
+//	GET  /statsz       derivation-cache hit/miss/diskHit/eviction counters,
+//	                   server in-flight/timeout/cancellation counters, the
 //	                   effective workers/stream-window configuration, the
-//	                   cumulative simulation-step gauge and — in gateway
+//	                   cumulative simulation-step gauge, — in gateway
 //	                   mode — per-peer health plus peerRows/peerFallbacks
+//	                   and — with -cache-dir — the persistent store's
+//	                   load/store/error counters and on-disk footprint
 //	GET  /metrics      the same counters in Prometheus text format
 //
 // # Gateway mode
@@ -56,6 +58,19 @@
 // header), so a peer list that mistakenly includes the gateway's own
 // address degrades to one wasteful extra hop instead of recursing.
 //
+// # Persistent derivation store
+//
+// -cache-dir DIR (off by default) backs the in-memory cache with a
+// content-addressed disk store: every derived discretisation and dwell
+// curve is written behind to DIR as a CRC-guarded record keyed by the
+// SHA-256 of its bit-exact cache key, and a memory miss reads through DIR
+// before recomputing. A restarted daemon pointed at the same directory
+// rejoins warm — it serves its shard from disk (counted as diskHits and
+// store loads, not misses) instead of re-deriving it. Torn or corrupt
+// records are detected by CRC, deleted and re-derived; they can never be
+// served. -cache-dir-bytes bounds the on-disk footprint (oldest records
+// evicted first; 0 = unbounded).
+//
 // Concurrency is bounded by -max-inflight (excess requests queue and are
 // rejected 503 once their deadline passes) and each request gets a -timeout
 // compute budget (504 on overrun). A budget overrun or client disconnect
@@ -66,9 +81,9 @@
 // SIGINT/SIGTERM trigger a graceful drain.
 //
 // Usage: cpsdynd [-addr :8700] [-cache-entries 1024] [-cache-bytes N]
-// [-max-inflight N] [-timeout 60s] [-workers N] [-curve-workers N]
-// [-stream-window N] [-complete-background] [-peers h1:8700,h2:8700]
-// [-ring-replicas N] [-peer-timeout 10s]
+// [-cache-dir DIR] [-cache-dir-bytes N] [-max-inflight N] [-timeout 60s]
+// [-workers N] [-curve-workers N] [-stream-window N] [-complete-background]
+// [-peers h1:8700,h2:8700] [-ring-replicas N] [-peer-timeout 10s]
 package main
 
 import (
@@ -86,6 +101,7 @@ import (
 
 	"cpsdyn/internal/core"
 	"cpsdyn/internal/service"
+	"cpsdyn/internal/store"
 )
 
 func main() {
@@ -93,6 +109,8 @@ func main() {
 		addr         = flag.String("addr", ":8700", "listen address")
 		cacheEntries = flag.Int("cache-entries", 1024, "derivation cache capacity in entries (clamped to ≥ 1)")
 		cacheBytes   = flag.Int64("cache-bytes", 0, "derivation cache budget in approximate bytes (0 = unbounded)")
+		cacheDir     = flag.String("cache-dir", "", "directory for the persistent derivation store (empty = no persistence)")
+		cacheDirMax  = flag.Int64("cache-dir-bytes", 0, "on-disk byte cap for -cache-dir, oldest records evicted first (0 = unbounded)")
 		maxInFlight  = flag.Int("max-inflight", 0, "maximum concurrently computing requests (0 = 2×GOMAXPROCS)")
 		timeout      = flag.Duration("timeout", 60*time.Second, "per-request compute budget")
 		workers      = flag.Int("workers", 0, "per-request derivation/allocation workers (0 = GOMAXPROCS)")
@@ -112,6 +130,17 @@ func main() {
 
 	core.SetDeriveCacheCapacity(*cacheEntries, *cacheBytes)
 	core.SetCurveSamplingWorkers(*curveWorkers)
+	var st *store.Store
+	if *cacheDir != "" {
+		var err error
+		st, err = store.Open(*cacheDir, store.Options{MaxBytes: *cacheDirMax})
+		if err != nil {
+			log.Fatalf("cpsdynd: opening -cache-dir: %v", err)
+		}
+		core.SetDeriveStore(st)
+		log.Printf("cpsdynd: persistent store %s (%d records, %d bytes warm)",
+			*cacheDir, st.Stats().Records, st.Stats().Bytes)
+	}
 	cfg := service.Config{
 		MaxInFlight:          *maxInFlight,
 		Timeout:              *timeout,
@@ -120,6 +149,7 @@ func main() {
 		StreamWindow:         *streamWindow,
 		RingReplicas:         *ringReplicas,
 		PeerTimeout:          *peerTimeout,
+		Store:                st,
 	}
 	for _, p := range strings.Split(*peers, ",") {
 		if p = strings.TrimSpace(p); p != "" {
@@ -163,6 +193,18 @@ func main() {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("cpsdynd: %v", err)
 	}
-	st := core.DeriveCacheStats()
-	log.Printf("cpsdynd: bye (cache: %d hits, %d misses, %d evictions)", st.Hits, st.Misses, st.Evictions)
+	if st != nil {
+		// Drain the write-behind queue so the artefacts of late requests
+		// survive the restart — that is the whole point of the store.
+		core.SetDeriveStore(nil)
+		if err := st.Close(); err != nil {
+			log.Printf("cpsdynd: closing store: %v", err)
+		}
+		ss := st.Stats()
+		log.Printf("cpsdynd: store: %d loads, %d stores, %d load errors, %d records / %d bytes on disk",
+			ss.Loads, ss.Stores, ss.LoadErrors, ss.Records, ss.Bytes)
+	}
+	cs := core.DeriveCacheStats()
+	log.Printf("cpsdynd: bye (cache: %d hits, %d misses, %d disk hits, %d evictions)",
+		cs.Hits, cs.Misses, cs.DiskHits, cs.Evictions)
 }

@@ -161,6 +161,38 @@
 // replica's effective workers/streamWindow capacity is introspectable over
 // its own /statsz.
 //
+// # Persistent derivation store
+//
+// The same determinism that lets the cluster shard the cache lets
+// internal/store persist it: an artefact is a pure function of its
+// bit-exact cache key, so a disk record can only ever disagree with a
+// recomputation by being corrupt — staleness cannot exist. The store is
+// content-addressed and one-file-per-key: record dir/<hh>/<hex>.rec holds
+// a 48-byte header (magic "CPSD", format version, artefact kind, the
+// SHA-256 of the full cache-key string, payload length, CRC-32C of the
+// payload) followed by a versioned binary payload in which every float64
+// crosses as its math.Float64bits pattern — a decoded discretisation or
+// dwell curve is bit-identical to the encoded one, pinned by
+// property tests that also prove every single-byte flip and truncation is
+// rejected. Writes go to a temp file and rename into place atomically;
+// Open sweeps orphaned temp files; a torn or bit-rotted record fails its
+// CRC on load, is counted as a loadError, deleted and re-derived — never
+// served, never fatal.
+//
+// core.SetDeriveStore hangs the store (any core.ArtifactStore) under the
+// in-memory LRU: a memory miss reads through the store before computing —
+// inside the same single-flight entry, so concurrent callers share one
+// disk read — and is counted as a diskHit, not a miss; a successful
+// computation is written behind on a bounded queue that drops writes
+// under saturation rather than stalling derivations. cpsdynd -cache-dir
+// enables it (off by default; -cache-dir-bytes caps the on-disk footprint,
+// oldest records evicted first) and surfaces store loads/stores/
+// loadErrors/records/bytes in /statsz and as cpsdynd_store_* in /metrics.
+// The operational payoff is warm rejoin: a replica restarted onto the
+// same directory serves its consistent-hash shard from disk instead of
+// re-deriving it — CI kill −9s a replica and asserts the restarted
+// process answers the full batch byte-identically with near-zero misses.
+//
 // # Enforced invariants
 //
 // Seven project invariants are machine-checked by the internal/analysis

@@ -41,9 +41,27 @@ type memoEntry struct {
 	elem  *list.Element
 }
 
+// ArtifactStore is the optional disk-backed persistence layer beneath the
+// memo cache (internal/store in production). The cache reads through it on
+// a memory miss and writes behind on a successful fill; both calls must be
+// cheap to fail — a store that misses or drops only costs a re-derivation.
+// Implementations must be safe for concurrent use and must return values
+// bit-identical to the ones stored: cached artefacts are shared and
+// treated as immutable everywhere in this module.
+type ArtifactStore interface {
+	// Get returns the artefact stored under key, or ok=false on any miss
+	// (absent, corrupt, unreadable — the cache does not distinguish).
+	Get(key string) (any, bool)
+	// Put persists the artefact under key, asynchronously if it likes.
+	Put(key string, v any)
+}
+
 // memoCache is a thread-safe size-aware LRU memoisation cache with
 // single-flight semantics: concurrent requests for the same key share one
-// computation. Failed computations are not retained.
+// computation. Failed computations are not retained. An optional
+// ArtifactStore adds a disk layer: memory misses read through it (counted
+// as diskHits, distinct from memory hits and from misses) and successful
+// computations write behind to it.
 type memoCache struct {
 	mu         sync.Mutex
 	capEntries int   // always ≥ 1
@@ -53,8 +71,10 @@ type memoCache struct {
 	bytes      int64
 	hits       uint64
 	misses     uint64
+	diskHits   uint64
 	evictions  uint64
 	sizeOf     func(any) int64
+	store      ArtifactStore // nil = memory only
 }
 
 // newMemoCache builds a cache holding at most capacity entries and (when
@@ -108,6 +128,13 @@ func isCancellation(err error) bool {
 // inheriting the cancelled owner's error — cancellation never poisons an
 // entry for the callers that did not cancel. A waiter whose own context
 // expires stops waiting immediately with that context's error.
+//
+// With an ArtifactStore attached, a memory miss first reads through to
+// disk under the same in-flight entry (so concurrent callers share one
+// disk load exactly as they share one computation). A disk hit counts as
+// diskHits — not as a miss: misses remain "computations started", the
+// counter a warm-rejoin e2e asserts stays near zero. A disk miss computes
+// as before and, on success, writes the artefact behind to the store.
 func (c *memoCache) get(ctx context.Context, key string, compute func(context.Context) (any, error)) (any, error) {
 	var done <-chan struct{}
 	if ctx != nil {
@@ -138,30 +165,51 @@ func (c *memoCache) get(ctx context.Context, key string, compute func(context.Co
 			}
 			return e.val, e.err
 		}
-		c.misses++
+		store := c.store
 		e := &memoEntry{key: key, ready: make(chan struct{})}
 		e.elem = c.lru.PushFront(e)
 		c.m[key] = e
 		c.evictLocked()
 		c.mu.Unlock()
 
-		e.val, e.err = compute(ctx)
+		fromDisk := false
+		if store != nil {
+			if v, ok := store.Get(key); ok {
+				e.val, fromDisk = v, true
+			}
+		}
+		if !fromDisk {
+			e.val, e.err = compute(ctx)
+		}
 		close(e.ready)
 
 		c.mu.Lock()
 		cur, present := c.m[key]
 		switch {
 		case e.err != nil:
+			c.misses++
 			if present && cur == e {
 				c.removeLocked(e)
 			}
-		case present && cur == e:
-			// Account the now-known size and re-check the byte budget.
-			e.size = c.sizeOf(e.val)
-			c.bytes += e.size
-			c.evictLocked()
+		default:
+			if fromDisk {
+				c.diskHits++
+			} else {
+				c.misses++
+			}
+			if present && cur == e {
+				// Account the now-known size and re-check the byte budget.
+				// An entry evicted (or reset away) while in flight is never
+				// accounted, so bytes can't be double-counted or leak.
+				e.size = c.sizeOf(e.val)
+				c.bytes += e.size
+				c.evictLocked()
+			}
 		}
 		c.mu.Unlock()
+		if !fromDisk && e.err == nil && store != nil {
+			store.Put(key, e.val)
+		}
 		return e.val, e.err
 	}
 }
@@ -184,10 +232,19 @@ func (c *memoCache) stats() CacheStats {
 	return CacheStats{
 		Hits:      c.hits,
 		Misses:    c.misses,
+		DiskHits:  c.diskHits,
 		Evictions: c.evictions,
 		Entries:   c.lru.Len(),
 		Bytes:     c.bytes,
 	}
+}
+
+// setStore attaches (or, with nil, detaches) the disk layer. The store is
+// consulted only for entries inserted after the call.
+func (c *memoCache) setStore(s ArtifactStore) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store = s
 }
 
 func (c *memoCache) reset() {
@@ -196,7 +253,7 @@ func (c *memoCache) reset() {
 	c.m = make(map[string]*memoEntry)
 	c.lru.Init()
 	c.bytes = 0
-	c.hits, c.misses, c.evictions = 0, 0, 0
+	c.hits, c.misses, c.diskHits, c.evictions = 0, 0, 0, 0
 }
 
 // approxSize estimates the retained bytes of a cached artefact. It only has
@@ -222,9 +279,14 @@ func matElems(m *mat.Matrix) int {
 }
 
 // CacheStats is a snapshot of the shared derivation cache's counters.
+// Hits are served from memory; DiskHits are memory misses answered by the
+// attached ArtifactStore without recomputing; Misses are computations
+// actually started (a warm replica rejoining its shard from disk keeps
+// this near zero).
 type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
+	DiskHits  uint64 `json:"diskHits"`
 	Evictions uint64 `json:"evictions"`
 	Entries   int    `json:"entries"`
 	Bytes     int64  `json:"bytes"`
@@ -254,9 +316,24 @@ func SetDeriveCacheCapacity(entries int, maxBytes int64) {
 	deriveCache.setCapacity(entries, maxBytes)
 }
 
+// SetDeriveStore attaches a disk-backed persistence layer beneath the
+// shared derivation cache (nil detaches it): memory misses read through it
+// before computing — counted as DiskHits — and successful computations
+// write behind to it. Safe by construction: every cached artefact is
+// deterministic in its bit-exact cache key, so a stored record can only
+// ever be bit-identical to what a re-derivation would produce. cpsdynd
+// wires internal/store here when started with -cache-dir, which is what
+// lets a restarted replica rejoin its consistent-hash shard warm.
+func SetDeriveStore(s ArtifactStore) { deriveCache.setStore(s) }
+
 // keyFloat appends the exact bit pattern of v, so keys distinguish values
-// that differ below formatting precision (and collapse ±0 distinctions no
-// computation here depends on).
+// that differ below formatting precision — including +0 and −0, whose bit
+// patterns differ (0x0 vs 0x8000000000000000). That strictness is
+// load-bearing: the disk store (internal/store) addresses records by these
+// keys, so two inputs share an artefact exactly when their keys are equal,
+// and every comparison layered above (appMemo.matches) must be equally
+// bit-exact or it would serve a stale value the key discipline would
+// recompute. TestCacheKeyDistinguishesSignedZero pins the contract.
 func keyFloat(b *strings.Builder, v float64) {
 	fmt.Fprintf(b, "%016x;", math.Float64bits(v))
 }
@@ -342,10 +419,15 @@ var curveWorkers atomic.Int32
 
 // SetCurveSamplingWorkers bounds the per-derivation dwell-curve sampling
 // fan-out (switching.SampleCurveOptions.Workers). n ≤ 0 restores the
-// default, runtime.GOMAXPROCS; n = 1 forces sequential sampling.
+// default, runtime.GOMAXPROCS; n = 1 forces sequential sampling. Widths
+// beyond the int32 backing store clamp to math.MaxInt32 instead of
+// wrapping negative (which would silently restore the default).
 func SetCurveSamplingWorkers(n int) {
 	if n < 0 {
 		n = 0
+	}
+	if n > math.MaxInt32 {
+		n = math.MaxInt32
 	}
 	curveWorkers.Store(int32(n))
 }

@@ -78,6 +78,11 @@ func matEqualBits(a, b *mat.Matrix) bool {
 }
 
 //cpsdyn:allocfree probe on the warm fleet sweep
+func floatEqualBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+//cpsdyn:allocfree probe on the warm fleet sweep
 func floatsEqualBits(a, b []float64) bool {
 	if len(a) != len(b) {
 		return false
@@ -105,7 +110,13 @@ func polesEqualBits(a, b []complex128) bool {
 }
 
 // matches reports whether the Application still looks exactly like it did
-// when the memoised derivation ran.
+// when the memoised derivation ran. Scalar fields compare by
+// math.Float64bits, not ==: the central cache keys (CacheKey/keyFloat)
+// distinguish +0 from −0 bit-exactly, so a memo that equated them would
+// serve the stale derivation while the central cache — and the disk store
+// addressed by those keys — treat the mutated field as a different key.
+// (NaN inputs never reach a successful derivation, so bitwise comparison
+// only tightens the check.)
 //
 //cpsdyn:allocfree the warm-path probe DeriveFleetInto sweeps once per app
 func (m *appMemo) matches(a *Application) bool {
@@ -113,9 +124,11 @@ func (m *appMemo) matches(a *Application) bool {
 	return a.Plant != nil &&
 		s.name == a.Name &&
 		s.plantName == a.Plant.Name &&
-		s.h == a.H && s.delayTT == a.DelayTT && s.delayET == a.DelayET &&
-		s.eth == a.Eth &&
-		s.r == a.R && s.deadline == a.Deadline && s.frameID == a.FrameID &&
+		floatEqualBits(s.h, a.H) && floatEqualBits(s.delayTT, a.DelayTT) &&
+		floatEqualBits(s.delayET, a.DelayET) &&
+		floatEqualBits(s.eth, a.Eth) &&
+		floatEqualBits(s.r, a.R) && floatEqualBits(s.deadline, a.Deadline) &&
+		s.frameID == a.FrameID &&
 		matEqualBits(s.plantA, a.Plant.A) &&
 		matEqualBits(s.plantB, a.Plant.B) &&
 		matEqualBits(s.plantC, a.Plant.C) &&

@@ -29,6 +29,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"Derivation-cache hits.", float64(cache.Hits))
 	metric("cpsdynd_cache_misses_total", "counter",
 		"Derivation-cache misses (computations started).", float64(cache.Misses))
+	metric("cpsdynd_cache_disk_hits_total", "counter",
+		"Derivation-cache memory misses answered by the persistent store instead of a computation.", float64(cache.DiskHits))
 	metric("cpsdynd_cache_evictions_total", "counter",
 		"Derivation-cache LRU evictions.", float64(cache.Evictions))
 	metric("cpsdynd_cache_entries", "gauge",
@@ -87,6 +89,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			"Derive rows computed locally because a peer was down or slow.", float64(gst.PeerFallbacks))
 		metric("cpsdynd_peer_failures_total", "counter",
 			"Failed peer calls summed over all peers (each failure trips the breaker closer to open).", float64(failures))
+	}
+	if s.cfg.Store != nil {
+		sst := s.cfg.Store.Stats()
+		metric("cpsdynd_store_loads_total", "counter",
+			"Records loaded from the persistent derivation store.", float64(sst.Loads))
+		metric("cpsdynd_store_stores_total", "counter",
+			"Records written to the persistent derivation store.", float64(sst.Stores))
+		metric("cpsdynd_store_load_errors_total", "counter",
+			"Corrupt or torn records rejected (and deleted) on load.", float64(sst.LoadErrors))
+		metric("cpsdynd_store_records", "gauge",
+			"Records currently indexed in the persistent derivation store.", float64(sst.Records))
+		metric("cpsdynd_store_bytes", "gauge",
+			"On-disk bytes retained by the persistent derivation store.", float64(sst.Bytes))
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

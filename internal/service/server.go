@@ -15,6 +15,7 @@ import (
 	"cpsdyn/internal/cluster"
 	"cpsdyn/internal/core"
 	"cpsdyn/internal/mat"
+	"cpsdyn/internal/store"
 	"cpsdyn/internal/switching"
 )
 
@@ -58,6 +59,14 @@ type Config struct {
 	// PeerTimeout bounds one row's round-trip to a replica before the row
 	// falls back to local computation (≤ 0 selects 10 s).
 	PeerTimeout time.Duration
+
+	// Store is the persistent derivation store backing the in-memory cache,
+	// when the operator enabled one (-cache-dir). The server only reads its
+	// counters for /statsz and /metrics — the cache↔store wiring itself is
+	// core.SetDeriveStore, done by the caller that opened the store. Nil
+	// means no persistence: no store block in /statsz, no store series in
+	// /metrics.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -214,13 +223,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // closed-loop simulation step counter (switching.SimSteps) — a live compute
 // gauge: it stops climbing when cancelled computations actually stop.
 // Gateway is only present in sharding-gateway mode: the peer list with
-// per-peer health plus the peerRows/peerFallbacks counters.
+// per-peer health plus the peerRows/peerFallbacks counters. Store is only
+// present when the operator enabled the persistent derivation store
+// (-cache-dir): its load/store/error counters plus the on-disk footprint.
 type StatszResponse struct {
 	Cache    core.CacheStats `json:"cache"`
 	Pool     mat.PoolStats   `json:"pool"`
 	Server   ServerStats     `json:"server"`
 	SimSteps uint64          `json:"simSteps"`
 	Gateway  *cluster.Stats  `json:"gateway,omitempty"`
+	Store    *store.Stats    `json:"store,omitempty"`
 }
 
 // handleStatsz is the JSON twin of handleMetrics; the metricsync analyzer
@@ -237,6 +249,10 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	if s.gw != nil {
 		gst := s.gw.Stats()
 		resp.Gateway = &gst
+	}
+	if s.cfg.Store != nil {
+		sst := s.cfg.Store.Stats()
+		resp.Store = &sst
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
