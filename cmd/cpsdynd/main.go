@@ -36,11 +36,18 @@
 //	GET  /statsz       derivation-cache hit/miss/diskHit/eviction counters,
 //	                   server in-flight/timeout/cancellation counters, the
 //	                   effective workers/stream-window configuration, the
-//	                   cumulative simulation-step gauge, — in gateway
+//	                   cumulative simulation-step gauge, per-endpoint and
+//	                   per-stage latency histograms, — in gateway
 //	                   mode — per-peer health plus peerRows/peerFallbacks
 //	                   and — with -cache-dir — the persistent store's
 //	                   load/store/error counters and on-disk footprint
-//	GET  /metrics      the same counters in Prometheus text format
+//	GET  /metrics      the same counters in Prometheus text format, latency
+//	                   histograms as _bucket/_sum/_count triplets
+//	GET  /tracez       the most recent finished request traces, slowest
+//	                   first, each with its aggregated per-stage breakdown
+//	                   (decode, cache lookup, disk read-through,
+//	                   discretisation, curve sampling, encode, peer round
+//	                   trips)
 //
 // # Gateway mode
 //
@@ -71,6 +78,17 @@
 // served. -cache-dir-bytes bounds the on-disk footprint (oldest records
 // evicted first; 0 = unbounded).
 //
+// # Observability
+//
+// Logs are structured (log/slog, logfmt-style text on stderr): every
+// completed request or stream emits one record carrying its op, trace ID,
+// duration and row count, joinable against GET /tracez by the trace ID. A
+// client may supply its own span ID in the X-Cpsdyn-Trace header; the
+// gateway forwards its trace ID the same way, so a replica's spans name
+// the gateway span as parent. -debug-addr 127.0.0.1:8701 (off by default)
+// serves net/http/pprof profiling handlers on a separate listener, keeping
+// profile endpoints off the service port.
+//
 // Concurrency is bounded by -max-inflight (excess requests queue and are
 // rejected 503 once their deadline passes) and each request gets a -timeout
 // compute budget (504 on overrun). A budget overrun or client disconnect
@@ -84,6 +102,7 @@
 // [-cache-dir DIR] [-cache-dir-bytes N] [-max-inflight N] [-timeout 60s]
 // [-workers N] [-curve-workers N] [-stream-window N] [-complete-background]
 // [-peers h1:8700,h2:8700] [-ring-replicas N] [-peer-timeout 10s]
+// [-debug-addr 127.0.0.1:8701]
 package main
 
 import (
@@ -91,8 +110,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -104,9 +124,37 @@ import (
 	"cpsdyn/internal/store"
 )
 
+// fatal logs one structured error record and exits, the slog counterpart
+// of log.Fatalf.
+func fatal(logger *slog.Logger, msg string, attrs ...any) {
+	logger.Error(msg, attrs...)
+	os.Exit(1)
+}
+
+// debugServer serves net/http/pprof on its own listener, so profiling
+// never rides the service port: an operator can firewall -debug-addr to
+// localhost while /v1 stays public. The explicit mux registers only the
+// pprof handlers — nothing else leaks onto the debug port.
+func debugServer(addr string, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	logger.Info("pprof listening", "addr", addr)
+	if err := srv.ListenAndServe(); err != nil {
+		// The debug listener is an aid, not the service: its failure is
+		// loud but not fatal.
+		logger.Error("pprof server", "err", err)
+	}
+}
+
 func main() {
 	var (
 		addr         = flag.String("addr", ":8700", "listen address")
+		debugAddr    = flag.String("debug-addr", "", "listen address for net/http/pprof profiling handlers (empty = no profiling listener)")
 		cacheEntries = flag.Int("cache-entries", 1024, "derivation cache capacity in entries (clamped to ≥ 1)")
 		cacheBytes   = flag.Int64("cache-bytes", 0, "derivation cache budget in approximate bytes (0 = unbounded)")
 		cacheDir     = flag.String("cache-dir", "", "directory for the persistent derivation store (empty = no persistence)")
@@ -127,6 +175,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: cpsdynd [flags]")
 		os.Exit(2)
 	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	core.SetDeriveCacheCapacity(*cacheEntries, *cacheBytes)
 	core.SetCurveSamplingWorkers(*curveWorkers)
@@ -135,11 +184,11 @@ func main() {
 		var err error
 		st, err = store.Open(*cacheDir, store.Options{MaxBytes: *cacheDirMax})
 		if err != nil {
-			log.Fatalf("cpsdynd: opening -cache-dir: %v", err)
+			fatal(logger, "opening -cache-dir", "dir", *cacheDir, "err", err)
 		}
 		core.SetDeriveStore(st)
-		log.Printf("cpsdynd: persistent store %s (%d records, %d bytes warm)",
-			*cacheDir, st.Stats().Records, st.Stats().Bytes)
+		logger.Info("persistent store warm", "dir", *cacheDir,
+			"records", st.Stats().Records, "bytes", st.Stats().Bytes)
 	}
 	cfg := service.Config{
 		MaxInFlight:          *maxInFlight,
@@ -150,6 +199,7 @@ func main() {
 		RingReplicas:         *ringReplicas,
 		PeerTimeout:          *peerTimeout,
 		Store:                st,
+		Logger:               logger,
 	}
 	for _, p := range strings.Split(*peers, ",") {
 		if p = strings.TrimSpace(p); p != "" {
@@ -158,12 +208,15 @@ func main() {
 	}
 	handler, err := service.New(cfg)
 	if err != nil {
-		log.Fatalf("cpsdynd: %v", err)
+		fatal(logger, "configuring service", "err", err)
 	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if *debugAddr != "" {
+		go debugServer(*debugAddr, logger)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -172,39 +225,40 @@ func main() {
 	errc := make(chan error, 1)
 	go func() {
 		if len(cfg.Peers) > 0 {
-			log.Printf("cpsdynd: gateway on %s sharding across %d peers %v", *addr, len(cfg.Peers), cfg.Peers)
+			logger.Info("gateway mode", "addr", *addr, "peers", cfg.Peers)
 		}
-		log.Printf("cpsdynd: listening on %s (cache %d entries / %d bytes)", *addr, *cacheEntries, *cacheBytes)
+		logger.Info("listening", "addr", *addr,
+			"cacheEntries", *cacheEntries, "cacheBytes", *cacheBytes)
 		errc <- srv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
-		log.Fatalf("cpsdynd: %v", err)
+		fatal(logger, "serving", "err", err)
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("cpsdynd: shutting down (drain %s)…", *drain)
+	logger.Info("shutting down", "drain", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Fatalf("cpsdynd: shutdown: %v", err)
+		fatal(logger, "shutdown", "err", err)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("cpsdynd: %v", err)
+		fatal(logger, "serving", "err", err)
 	}
 	if st != nil {
 		// Drain the write-behind queue so the artefacts of late requests
 		// survive the restart — that is the whole point of the store.
 		core.SetDeriveStore(nil)
 		if err := st.Close(); err != nil {
-			log.Printf("cpsdynd: closing store: %v", err)
+			logger.Error("closing store", "err", err)
 		}
 		ss := st.Stats()
-		log.Printf("cpsdynd: store: %d loads, %d stores, %d load errors, %d records / %d bytes on disk",
-			ss.Loads, ss.Stores, ss.LoadErrors, ss.Records, ss.Bytes)
+		logger.Info("store closed", "loads", ss.Loads, "stores", ss.Stores,
+			"loadErrors", ss.LoadErrors, "records", ss.Records, "bytes", ss.Bytes)
 	}
 	cs := core.DeriveCacheStats()
-	log.Printf("cpsdynd: bye (cache: %d hits, %d misses, %d disk hits, %d evictions)",
-		cs.Hits, cs.Misses, cs.DiskHits, cs.Evictions)
+	logger.Info("bye", "cacheHits", cs.Hits, "cacheMisses", cs.Misses,
+		"diskHits", cs.DiskHits, "evictions", cs.Evictions)
 }

@@ -193,6 +193,40 @@
 // re-deriving it — CI kill −9s a replica and asserts the restarted
 // process answers the full batch byte-identically with near-zero misses.
 //
+// # Observability
+//
+// internal/obs is the zero-dependency observability layer threaded through
+// every hot path: lock-free log-spaced latency histograms, request-scoped
+// traces with fixed per-stage accumulators, and the bounded ring behind
+// cpsdynd's GET /tracez. A histogram observation is two atomic adds on a
+// fixed 33-bucket array (bounds 2^i µs — relative error < 2× across the
+// six orders of magnitude between a warm cache hit and a cold 300-app
+// derivation), allocation-free and pinned by AllocsPerRun tests; /statsz
+// serves each histogram as a snapshot with cumulative buckets and
+// interpolated p50/p90/p99, /metrics as a Prometheus
+// _bucket/_sum/_count triplet, and the metricsync analyzer knows the
+// cpsdyn:"histogram" tag that maps the one JSON field to the three
+// series. Per-endpoint request histograms live on the service.Server;
+// the pipeline histograms (per-row derive on the memo-cache slow path,
+// store load/store, peer round trip) are process-wide like the caches
+// they instrument — and the warm derive path stays uninstrumented: a
+// memo hit takes zero clock reads.
+//
+// Every request and stream carries an obs.Trace in its context: a 16-hex
+// span ID, an optional parent (the X-Cpsdyn-Trace request header; the
+// gateway forwards its own trace ID on each persistent sub-stream, so a
+// replica's span names the gateway span as parent), and lock-free
+// per-stage time/count accumulators over a closed stage set — decode,
+// cacheLookup, diskLoad, discretize, curveSample, encode, peerRoundTrip —
+// so a million-row stream still produces a fixed-size trace. Finished
+// traces land in a bounded ring served by GET /tracez, slowest first,
+// and emit one structured log/slog completion record (op, trace ID,
+// duration, rows) joinable against /tracez by trace ID. Tracing changes
+// no output byte: traced gateway streams are golden-diffed against
+// untraced single-node runs. Profiling is opt-in: cpsdynd -debug-addr
+// serves net/http/pprof on a separate listener, keeping profile handlers
+// off the service port.
+//
 // # Enforced invariants
 //
 // Seven project invariants are machine-checked by the internal/analysis

@@ -14,10 +14,14 @@
 //     literal matching ^cpsdynd_[a-z0-9_]+$ in its body is a metric name.
 //
 // A leaf and a metric match when the leaf's name tokens are a subset of
-// the metric's (prefix and _total suffix stripped): rowsIn matches
-// cpsdynd_stream_rows_in_total. Every leaf must be covered by at least one
-// metric and every metric must cover at least one leaf. Escape hatches,
-// each a visible declaration at the divergence site: a struct field tagged
+// the metric's (prefix and one type suffix stripped — _total for
+// counters, _bucket/_sum/_count for histogram triplets): rowsIn matches
+// cpsdynd_stream_rows_in_total. A struct field tagged cpsdyn:"histogram"
+// is one leaf — its snapshot internals (count, sum, quantiles, buckets)
+// are the histogram's wire encoding, matched as a whole by the family's
+// triplet. Every leaf must be covered by at least one metric and every
+// metric must cover at least one leaf. Escape hatches, each a visible
+// declaration at the divergence site: a struct field tagged
 // cpsdyn:"statsz-only" needs no metric, and a metric name carrying a
 // //cpsdyn:metrics-only line comment needs no statsz twin.
 //
@@ -45,6 +49,7 @@ const (
 	MetricsDirective     = "metrics-source"
 	MetricsOnlyDirective = "metrics-only"
 	StatszOnlyTag        = "statsz-only"
+	HistogramTag         = "histogram"
 	MetricPrefix         = "cpsdynd_"
 )
 
@@ -76,12 +81,21 @@ func Tokens(name string) []string {
 	return toks
 }
 
-// MetricBase strips the exposition prefix and the Prometheus _total
-// counter suffix from a metric name: cpsdynd_stream_rows_in_total →
-// stream_rows_in.
+// MetricBase strips the exposition prefix and one Prometheus type suffix
+// from a metric name: the _total counter suffix
+// (cpsdynd_stream_rows_in_total → stream_rows_in) or one of the histogram
+// triplet suffixes _bucket/_sum/_count, which all collapse to the family
+// name (cpsdynd_latency_derive_seconds_bucket →
+// latency_derive_seconds), so a histogram's three series match the one
+// /statsz snapshot field that sources them.
 func MetricBase(metric string) string {
 	base := strings.TrimPrefix(metric, MetricPrefix)
-	return strings.TrimSuffix(base, "_total")
+	for _, suffix := range []string{"_total", "_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(base, suffix) {
+			return strings.TrimSuffix(base, suffix)
+		}
+	}
+	return base
 }
 
 // Covers reports whether the metric's token set contains every one of the
@@ -255,6 +269,16 @@ func expand(named *types.Named, prefix string, pos token.Pos, visited map[*types
 		path := name
 		if prefix != "" {
 			path = prefix + "." + name
+		}
+		if tag.Get("cpsdyn") == HistogramTag {
+			// A histogram snapshot field is ONE counter source: its
+			// count/sum/quantile/bucket internals are the histogram's wire
+			// encoding, not independent counters, and the matching /metrics
+			// side is the _bucket/_sum/_count triplet MetricBase collapses to
+			// the same family name. Collapse before the type switch so both
+			// value and pointer snapshots short-circuit identically.
+			leaves = append(leaves, leaf{path: path, tokens: Tokens(name), pos: pos})
+			continue
 		}
 		switch t := f.Type().Underlying().(type) {
 		case *types.Basic:

@@ -41,6 +41,17 @@ func TestTokens(t *testing.T) {
 	if metricsync.MetricBase("cpsdynd_stream_rows_in_total") != "stream_rows_in" {
 		t.Errorf("MetricBase: got %q", metricsync.MetricBase("cpsdynd_stream_rows_in_total"))
 	}
+	// Histogram triplets collapse to one family name.
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		got := metricsync.MetricBase("cpsdynd_latency_derive_seconds" + suffix)
+		if got != "latency_derive_seconds" {
+			t.Errorf("MetricBase(...%s) = %q, want latency_derive_seconds", suffix, got)
+		}
+	}
+	// Only one suffix strips — a family ending in a suffix-like token keeps it.
+	if got := metricsync.MetricBase("cpsdynd_latency_derive_seconds"); got != "latency_derive_seconds" {
+		t.Errorf("MetricBase(family) = %q, want latency_derive_seconds", got)
+	}
 	if !metricsync.Covers(metricsync.Tokens("stream_rows_in"), metricsync.Tokens("rowsIn")) {
 		t.Error("stream_rows_in should cover rowsIn")
 	}

@@ -17,9 +17,19 @@ type gatewayStats struct {
 	PeerRows uint64      `json:"peerRows"`
 }
 
+type histSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+}
+
+type latencyStats struct {
+	Derive histSnapshot `json:"derive" cpsdyn:"histogram"`
+}
+
 type statszResponse struct {
 	RowsIn  uint64        `json:"rowsIn"`
 	Gateway *gatewayStats `json:"gateway,omitempty"`
+	Latency latencyStats  `json:"latency"`
 }
 
 //cpsdyn:statsz-source
@@ -34,6 +44,11 @@ func handleMetrics() string {
 	out += metric("cpsdynd_peers", 2)                // covers the peers slice length
 	out += metric("cpsdynd_peers_down", 3)           // covers peers[].down
 	out += metric("cpsdynd_peer_rows_total", 4)      // covers peerRows and peers[].rows
+	// The histogram triplet: all three series collapse to the family name
+	// latency_derive_seconds, which covers the one latency.derive leaf.
+	out += metric("cpsdynd_latency_derive_seconds_bucket", 5)
+	out += metric("cpsdynd_latency_derive_seconds_sum", 6)
+	out += metric("cpsdynd_latency_derive_seconds_count", 7)
 	return out
 }
 

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cpsdyn/internal/obs"
 )
 
 // Config tunes a Gateway. Peers is required; the zero value of everything
@@ -136,6 +138,7 @@ type Session struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	cap    int
+	trace  string // request's trace ID, forwarded on every sub-stream
 	slots  map[*Peer]*sessionSlot
 }
 
@@ -144,7 +147,10 @@ type sessionSlot struct {
 	st *peerStream
 }
 
-// Session opens a fan-out session. ctx governs every sub-stream's life.
+// Session opens a fan-out session. ctx governs every sub-stream's life;
+// when it carries a trace, the trace's ID rides the obs.TraceHeader of
+// every sub-stream so each replica records its side of the request as a
+// child span.
 func (g *Gateway) Session(ctx context.Context, maxInFlight int) *Session {
 	if maxInFlight < 1 {
 		maxInFlight = 1
@@ -156,6 +162,9 @@ func (g *Gateway) Session(ctx context.Context, maxInFlight int) *Session {
 		cancel: cancel,
 		cap:    maxInFlight + 1, // roundTrip pushes before writing; keep slack
 		slots:  make(map[*Peer]*sessionSlot, len(g.peers)),
+	}
+	if tr := obs.FromContext(ctx); tr != nil {
+		s.trace = tr.ID
 	}
 	for _, p := range g.peers {
 		s.slots[p] = &sessionSlot{}
@@ -187,7 +196,7 @@ func (s *Session) stream(p *Peer) *peerStream {
 	slot.mu.Lock()
 	defer slot.mu.Unlock()
 	if slot.st == nil || !slot.st.alive() {
-		slot.st = openStream(s.ctx, s.g.client, p, s.cap, func(error) {
+		slot.st = openStream(s.ctx, s.g.client, p, s.cap, s.trace, func(error) {
 			p.brk.failure()
 			p.failures.Add(1)
 		})
@@ -211,9 +220,15 @@ func (s *Session) Do(ctx context.Context, key string, line []byte, accept func([
 		s.g.fallbacks.Add(1)
 		return nil, false
 	}
+	start := time.Now()
 	row, err := s.stream(p).roundTrip(ctx, line, s.g.timeout)
 	switch {
 	case err == nil && (accept == nil || accept(row)):
+		// Only settled exchanges enter the RTT histogram: a timed-out row's
+		// duration is the watchdog bound, which would only echo the
+		// -peer-timeout flag back as data.
+		obs.PeerRTTLatency.Since(start)
+		obs.FromContext(ctx).StageSince(obs.StagePeerRoundTrip, start)
 		p.brk.success()
 		p.rows.Add(1)
 		s.g.rows.Add(1)

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cpsdyn/internal/obs"
 )
 
 // Peer is one remote replica: its configured name (the ring identity), its
@@ -82,7 +84,7 @@ type pendingRow struct {
 // the peer's circuit breaker sees one failure per event no matter how many
 // rows were in flight — a single slow exchange must not instantly burn
 // through the whole consecutive-failure threshold.
-func openStream(ctx context.Context, client *http.Client, p *Peer, maxPending int, onFail func(error)) *peerStream {
+func openStream(ctx context.Context, client *http.Client, p *Peer, maxPending int, trace string, onFail func(error)) *peerStream {
 	pr, pw := io.Pipe()
 	sctx, cancel := context.WithCancel(ctx)
 	st := &peerStream{
@@ -100,6 +102,9 @@ func openStream(ctx context.Context, client *http.Client, p *Peer, maxPending in
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
 	req.Header.Set(HopHeader, "1")
+	if trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
+	}
 	//cpsdyn:detached bounded by sctx: cancelling it aborts client.Do and poisons the pipe, and fail() closes dead so every waiter returns
 	go func() {
 		resp, err := client.Do(req)

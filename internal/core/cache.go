@@ -10,9 +10,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cpsdyn/internal/lti"
 	"cpsdyn/internal/mat"
+	"cpsdyn/internal/obs"
 	"cpsdyn/internal/switching"
 )
 
@@ -140,6 +142,14 @@ func (c *memoCache) get(ctx context.Context, key string, compute func(context.Co
 	if ctx != nil {
 		done = ctx.Done()
 	}
+	// Traced requests attribute cache-resolution time (hits and
+	// single-flight waits) to the cacheLookup stage; untraced requests pay
+	// one nil check and skip the clock reads entirely.
+	tr := obs.FromContext(ctx)
+	var lookupStart time.Time
+	if tr != nil {
+		lookupStart = time.Now()
+	}
 	for {
 		c.mu.Lock()
 		if e, ok := c.m[key]; ok {
@@ -156,6 +166,9 @@ func (c *memoCache) get(ctx context.Context, key string, compute func(context.Co
 				c.mu.Lock()
 				c.hits++
 				c.mu.Unlock()
+				if tr != nil {
+					tr.StageSince(obs.StageCacheLookup, lookupStart)
+				}
 				return e.val, nil
 			}
 			if isCancellation(e.err) && (ctx == nil || ctx.Err() == nil) {
@@ -174,8 +187,15 @@ func (c *memoCache) get(ctx context.Context, key string, compute func(context.Co
 
 		fromDisk := false
 		if store != nil {
+			var diskStart time.Time
+			if tr != nil {
+				diskStart = time.Now()
+			}
 			if v, ok := store.Get(key); ok {
 				e.val, fromDisk = v, true
+			}
+			if tr != nil {
+				tr.StageSince(obs.StageDiskLoad, diskStart)
 			}
 		}
 		if !fromDisk {
@@ -452,9 +472,10 @@ func cachedDiscretize(ctx context.Context, c *lti.Continuous, h, d float64) (*lt
 	keyMatrix(&b, c.C)
 	keyFloat(&b, h)
 	keyFloat(&b, d)
-	v, err := deriveCache.get(ctx, b.String(), func(context.Context) (any, error) {
+	v, err := deriveCache.get(ctx, b.String(), func(cctx context.Context) (any, error) {
 		// Discretisation is a handful of small matrix exponentials —
 		// too cheap to need intra-computation cancellation points.
+		defer obs.FromContext(cctx).StageSince(obs.StageDiscretize, time.Now())
 		return lti.Discretize(c, h, d)
 	})
 	if err != nil {
@@ -477,6 +498,7 @@ func cachedSampleCurve(ctx context.Context, s *switching.System, horizon int) (*
 	keyFloat(&b, s.H)
 	fmt.Fprintf(&b, "n%d;h%d", s.NormDims, horizon)
 	v, err := deriveCache.get(ctx, b.String(), func(ctx context.Context) (any, error) {
+		defer obs.FromContext(ctx).StageSince(obs.StageCurveSample, time.Now())
 		return s.SampleCurveWith(switching.SampleCurveOptions{
 			Workers: CurveSamplingWorkers(),
 			Horizon: horizon,

@@ -16,11 +16,13 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"cpsdyn/internal/control"
 	"cpsdyn/internal/flexray"
 	"cpsdyn/internal/lti"
 	"cpsdyn/internal/mat"
+	"cpsdyn/internal/obs"
 	"cpsdyn/internal/pwl"
 	"cpsdyn/internal/sched"
 	"cpsdyn/internal/sim"
@@ -170,10 +172,16 @@ func (a *Application) Derive() (*Derived, error) {
 func (a *Application) DeriveContext(ctx context.Context) (*Derived, error) {
 	// Warm path: the latest successful derivation of this very Application
 	// is kept alongside a bit-exact input snapshot; while nothing has been
-	// mutated, re-deriving is a pointer load.
+	// mutated, re-deriving is a pointer load — deliberately ahead of any
+	// instrumentation, so the warm fleet sweep stays allocation- and
+	// clock-free.
 	if m := a.memo.Load(); m != nil && m.matches(a) {
 		return m.derived, nil
 	}
+	// Everything past the memo is the slow path the latency histogram is
+	// about: validation, cache lookups, disk read-through, recomputation,
+	// model fits.
+	defer obs.DeriveRowLatency.Since(time.Now())
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}

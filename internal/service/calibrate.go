@@ -9,6 +9,7 @@ import (
 	"cpsdyn/internal/casestudy"
 	"cpsdyn/internal/conc"
 	"cpsdyn/internal/core"
+	"cpsdyn/internal/obs"
 )
 
 // CalibrateAppSpec describes one application for measured-mode calibration:
@@ -166,10 +167,11 @@ type CalibrateStreamRow struct {
 // it mid-flight like the other engines.
 func CalibrateStream(ctx context.Context, r io.Reader, w io.Writer, opts StreamOptions) (StreamStats, error) {
 	var stats StreamStats
+	tr := obs.FromContext(ctx)
 	err := conc.StreamOrdered(ctx, opts.Workers, opts.window(effectiveWorkers(opts.Workers)),
-		countingSource[CalibrateAppSpec](r, opts.MaxLine, &stats),
+		countingSource[CalibrateAppSpec](r, opts.MaxLine, &stats, tr),
 		calibrateStreamRow,
-		encodeSink[CalibrateStreamRow](w, &stats))
+		encodeSink[CalibrateStreamRow](w, &stats, tr))
 	return stats, err
 }
 
@@ -213,7 +215,7 @@ func calibrateStreamRow(ctx context.Context, _ int, ln Line[CalibrateAppSpec]) (
 
 func calibrateEndpoint(ctx context.Context, s *Server, body []byte) (any, error) {
 	var req CalibrateRequest
-	if err := decodeStrict(body, &req); err != nil {
+	if err := decodeTraced(ctx, body, &req); err != nil {
 		return nil, err
 	}
 	// As for /v1/derive, the operator's -workers flag is a ceiling.

@@ -10,6 +10,7 @@ import (
 	"cpsdyn/internal/cluster"
 	"cpsdyn/internal/conc"
 	"cpsdyn/internal/core"
+	"cpsdyn/internal/obs"
 )
 
 // This file is the gateway side of the cluster layer: the /v1/derive and
@@ -105,7 +106,7 @@ func (s *Server) gatewayDerive(ctx context.Context, sess *cluster.Session,
 // errors.Join while every other app still answers.
 func gatewayDeriveEndpoint(ctx context.Context, s *Server, body []byte) (any, error) {
 	var req DeriveRequest
-	if err := decodeStrict(body, &req); err != nil {
+	if err := decodeTraced(ctx, body, &req); err != nil {
 		return nil, err
 	}
 	if req.Workers <= 0 || (s.cfg.Workers > 0 && req.Workers > s.cfg.Workers) {
@@ -186,14 +187,15 @@ func (s *Server) gatewayStreamRow(ctx context.Context, sess *cluster.Session,
 // the per-peer sub-requests down too.
 func (s *Server) gatewayDeriveStream(ctx context.Context, r io.Reader, w io.Writer, opts StreamOptions) (StreamStats, error) {
 	var stats StreamStats
+	tr := obs.FromContext(ctx)
 	workers := effectiveWorkers(opts.Workers)
 	sess := s.gw.Session(ctx, workers)
 	defer sess.Close()
 	err := conc.StreamOrdered(ctx, opts.Workers, opts.window(workers),
-		deriveSource(r, opts.MaxLine, &stats),
+		deriveSource(r, opts.MaxLine, &stats, tr),
 		func(ctx context.Context, _ int, ln Line[DeriveAppSpec]) StreamRow {
 			return s.gatewayStreamRow(ctx, sess, ln)
 		},
-		encodeSink[StreamRow](w, &stats))
+		encodeSink[StreamRow](w, &stats, tr))
 	return stats, err
 }

@@ -7,6 +7,7 @@ import (
 
 	"cpsdyn/internal/core"
 	"cpsdyn/internal/mat"
+	"cpsdyn/internal/obs"
 	"cpsdyn/internal/switching"
 )
 
@@ -24,6 +25,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	var b strings.Builder
 	metric := func(name, typ, help string, v float64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	}
+	// hist renders one latency histogram as the Prometheus triplet: cumulative
+	// _bucket series (the snapshot's buckets are already cumulative and elide
+	// empty trailing ones; the mandatory le="+Inf" bucket is the total count by
+	// construction), then _sum and _count. Family names end in _seconds and
+	// bounds are seconds, per the exposition conventions.
+	hist := func(name, help string, snap obs.Snapshot) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		for _, bk := range snap.Buckets {
+			fmt.Fprintf(&b, "%s_bucket{le=\"%g\"} %d\n", name, bk.LE, bk.N)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count)
+		fmt.Fprintf(&b, "%s_sum %g\n%s_count %d\n", name, snap.Sum, name, snap.Count)
 	}
 	metric("cpsdynd_cache_hits_total", "counter",
 		"Derivation-cache hits.", float64(cache.Hits))
@@ -69,6 +83,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"Per-request worker ceiling (defaults resolved).", float64(srv.Workers))
 	metric("cpsdynd_stream_window", "gauge",
 		"Per-stream NDJSON reorder window (defaults resolved).", float64(srv.StreamWindow))
+	lat := s.latencyStats()
+	hist("cpsdynd_latency_derive_seconds",
+		"Buffered /v1/derive request latency.", lat.Derive)
+	hist("cpsdynd_latency_derive_stream_seconds",
+		"/v1/derive/stream request latency (whole stream).", lat.DeriveStream)
+	hist("cpsdynd_latency_allocate_seconds",
+		"Buffered /v1/allocate request latency.", lat.Allocate)
+	hist("cpsdynd_latency_allocate_stream_seconds",
+		"/v1/allocate/stream request latency (whole stream).", lat.AllocateStream)
+	hist("cpsdynd_latency_calibrate_seconds",
+		"Buffered /v1/calibrate request latency.", lat.Calibrate)
+	hist("cpsdynd_latency_calibrate_stream_seconds",
+		"/v1/calibrate/stream request latency (whole stream).", lat.CalibrateStream)
+	hist("cpsdynd_latency_derive_row_seconds",
+		"Per-row derivation latency on the memo-cache slow path.", lat.DeriveRow)
 	if s.gw != nil {
 		gst := s.gw.Stats()
 		down := 0
@@ -89,6 +118,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			"Derive rows computed locally because a peer was down or slow.", float64(gst.PeerFallbacks))
 		metric("cpsdynd_peer_failures_total", "counter",
 			"Failed peer calls summed over all peers (each failure trips the breaker closer to open).", float64(failures))
+		hist("cpsdynd_latency_peer_round_trip_seconds",
+			"Settled peer exchange round-trip latency in sharding-gateway mode.", *lat.PeerRoundTrip)
 	}
 	if s.cfg.Store != nil {
 		sst := s.cfg.Store.Stats()
@@ -102,6 +133,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			"Records currently indexed in the persistent derivation store.", float64(sst.Records))
 		metric("cpsdynd_store_bytes", "gauge",
 			"On-disk bytes retained by the persistent derivation store.", float64(sst.Bytes))
+		hist("cpsdynd_latency_store_load_seconds",
+			"Persistent-store load latency (disk-touching attempts, hit or corrupt).", *lat.StoreLoad)
+		hist("cpsdynd_latency_store_store_seconds",
+			"Persistent-store write latency.", *lat.StoreStore)
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

@@ -2,11 +2,14 @@ package service
 
 import (
 	"bufio"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"testing"
 
 	"cpsdyn/internal/analysis/metricsync"
+	"cpsdyn/internal/obs"
 )
 
 // The metricsync analyzer pins /statsz↔/metrics parity at the AST level;
@@ -40,6 +43,15 @@ func statszLeaves(prefix string, v any, out map[string][]string) {
 			case float64, bool:
 				out[path] = metricsync.Tokens(k)
 			case map[string]any, []any:
+				if m, ok := e.(map[string]any); ok && isHistogramSnapshot(m) {
+					// A histogram snapshot is ONE counter source (matched by
+					// its family's _bucket/_sum/_count triplet), mirroring
+					// the analyzer's cpsdyn:"histogram" collapse — its
+					// count/sum/quantile/bucket internals are the wire
+					// encoding, not independent counters.
+					out[path] = metricsync.Tokens(k)
+					continue
+				}
 				if _, ok := e.([]any); ok {
 					out[path] = metricsync.Tokens(k)
 				}
@@ -51,6 +63,15 @@ func statszLeaves(prefix string, v any, out map[string][]string) {
 			statszLeaves(prefix, e, out)
 		}
 	}
+}
+
+// isHistogramSnapshot recognises a decoded obs.Snapshot by its count+sum+
+// buckets keys — the shape check the statsz flattener collapses on.
+func isHistogramSnapshot(m map[string]any) bool {
+	_, hasCount := m["count"]
+	_, hasSum := m["sum"]
+	_, hasBuckets := m["buckets"]
+	return hasCount && hasSum && hasBuckets
 }
 
 // scrapeMetricNames returns every cpsdynd_* series name on /metrics.
@@ -75,6 +96,10 @@ func scrapeMetricNames(t *testing.T, url string) map[string][]string {
 		if !ok || !strings.HasPrefix(name, metricsync.MetricPrefix) {
 			continue
 		}
+		// A histogram bucket series carries a {le="..."} label; the family
+		// name is what parity matches on (MetricBase then collapses the
+		// _bucket/_sum/_count triplet suffixes like the analyzer does).
+		name, _, _ = strings.Cut(name, "{")
 		names[name] = metricsync.Tokens(metricsync.MetricBase(name))
 	}
 	if err := sc.Err(); err != nil {
@@ -157,12 +182,141 @@ func TestStatszMetricsParityGateway(t *testing.T) {
 }
 
 // The gateway-only series must really be absent on a plain server rather
-// than served as zeros, matching the omitempty gateway statsz block.
+// than served as zeros, matching the omitempty gateway statsz block. The
+// peer round-trip histogram is gateway-only the same way.
 func TestPlainServerServesNoGatewaySeries(t *testing.T) {
 	ts := newTestServer(t, Config{})
 	for name := range scrapeMetricNames(t, ts.URL) {
-		if strings.HasPrefix(name, "cpsdynd_peer") {
+		if strings.HasPrefix(name, "cpsdynd_peer") || strings.Contains(name, "peer_round_trip") {
 			t.Errorf("plain server serves gateway series %q", name)
+		}
+	}
+}
+
+// scrapeHistogramFamilies parses the /metrics text into per-family triplets:
+// ordered (le, count) bucket pairs plus the _sum and _count values.
+type histogramFamily struct {
+	buckets []obs.Bucket
+	sum     float64
+	count   uint64
+	hasSum  bool
+	hasCnt  bool
+}
+
+func scrapeHistogramFamilies(t *testing.T, url string) map[string]*histogramFamily {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fams := make(map[string]*histogramFamily)
+	family := func(name string) *histogramFamily {
+		f := fams[name]
+		if f == nil {
+			f = &histogramFamily{}
+			fams[name] = f
+		}
+		return f
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok || !strings.Contains(name, "_latency_") {
+			continue
+		}
+		switch {
+		case strings.Contains(name, "_bucket{le="):
+			fam, label, _ := strings.Cut(name, "_bucket{le=\"")
+			le := math.Inf(1)
+			if !strings.HasPrefix(label, "+Inf") {
+				if le, err = strconv.ParseFloat(strings.TrimSuffix(label, "\"}"), 64); err != nil {
+					t.Fatalf("bucket label %q: %v", name, err)
+				}
+			}
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value %q: %v", line, err)
+			}
+			family(fam).buckets = append(family(fam).buckets, obs.Bucket{LE: le, N: n})
+		case strings.HasSuffix(name, "_sum"):
+			f := family(strings.TrimSuffix(name, "_sum"))
+			if f.sum, err = strconv.ParseFloat(val, 64); err != nil {
+				t.Fatalf("sum value %q: %v", line, err)
+			}
+			f.hasSum = true
+		case strings.HasSuffix(name, "_count"):
+			f := family(strings.TrimSuffix(name, "_count"))
+			if f.count, err = strconv.ParseUint(val, 10, 64); err != nil {
+				t.Fatalf("count value %q: %v", line, err)
+			}
+			f.hasCnt = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return fams
+}
+
+// The histogram triplets must be internally consistent — cumulative bucket
+// counts monotone with increasing bounds, the mandatory +Inf bucket equal
+// to _count — and must agree with the /statsz latency block they are
+// rendered from, so the two pages describe one distribution.
+func TestStatszMetricsHistogramTriplets(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	code, _ := postJSON(t, ts.URL+"/v1/derive", servoDeriveRequest(2))
+	if code != http.StatusOK {
+		t.Fatalf("derive status = %d", code)
+	}
+	fams := scrapeHistogramFamilies(t, ts.URL)
+	if len(fams) == 0 {
+		t.Fatal("no cpsdynd_latency_* histogram families on /metrics")
+	}
+	for name, f := range fams {
+		if !f.hasSum || !f.hasCnt {
+			t.Errorf("family %s missing _sum or _count", name)
+			continue
+		}
+		if len(f.buckets) == 0 || !math.IsInf(f.buckets[len(f.buckets)-1].LE, 1) {
+			t.Errorf("family %s has no le=\"+Inf\" bucket", name)
+			continue
+		}
+		for i := 1; i < len(f.buckets); i++ {
+			if f.buckets[i].N < f.buckets[i-1].N || f.buckets[i].LE <= f.buckets[i-1].LE {
+				t.Errorf("family %s buckets not monotone at %d: %+v", name, i, f.buckets)
+			}
+		}
+		if inf := f.buckets[len(f.buckets)-1].N; inf != f.count {
+			t.Errorf("family %s +Inf bucket = %d, _count = %d", name, inf, f.count)
+		}
+	}
+
+	// Cross-check the derive family against the /statsz latency block. The
+	// derive endpoint saw exactly one request and no concurrent traffic, so
+	// the two scrapes must agree exactly.
+	var statsz StatszResponse
+	if code := getJSON(t, ts.URL+"/statsz", &statsz); code != http.StatusOK {
+		t.Fatalf("/statsz status = %d", code)
+	}
+	f := fams["cpsdynd_latency_derive_seconds"]
+	if f == nil {
+		t.Fatal("cpsdynd_latency_derive_seconds family missing")
+	}
+	snap := statsz.Latency.Derive
+	if f.count != snap.Count || f.count == 0 {
+		t.Errorf("derive _count = %d, statsz count = %d (want equal, nonzero)", f.count, snap.Count)
+	}
+	if f.sum != snap.Sum {
+		t.Errorf("derive _sum = %g, statsz sum = %g", f.sum, snap.Sum)
+	}
+	for i, b := range snap.Buckets {
+		if i >= len(f.buckets)-1 || f.buckets[i] != b {
+			t.Fatalf("derive bucket %d: metrics %+v, statsz %+v", i, f.buckets, snap.Buckets)
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync/atomic"
@@ -15,6 +16,7 @@ import (
 	"cpsdyn/internal/cluster"
 	"cpsdyn/internal/core"
 	"cpsdyn/internal/mat"
+	"cpsdyn/internal/obs"
 	"cpsdyn/internal/store"
 	"cpsdyn/internal/switching"
 )
@@ -67,6 +69,12 @@ type Config struct {
 	// means no persistence: no store block in /statsz, no store series in
 	// /metrics.
 	Store *store.Store
+
+	// Logger receives one structured completion record per request and
+	// stream — operation, trace ID, duration, row counts — so a slow
+	// /tracez entry can be joined against the log by its trace ID. Nil
+	// disables request logging.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -127,18 +135,22 @@ type Server struct {
 	rowsIn          atomic.Uint64
 	rowsOut         atomic.Uint64
 	streamCancelled atomic.Uint64
+
+	lat    latencyHistograms // per-endpoint request latency
+	traces *obs.Ring         // recent finished traces, behind GET /tracez
 }
 
 // New builds the service handler. It fails only on a misconfigured gateway
 // peer set (empty strings, duplicates, unparsable addresses).
 func New(cfg Config) (*Server, error) {
 	s := &Server{
-		cfg: cfg.withDefaults(),
-		mux: http.NewServeMux(),
+		cfg:    cfg.withDefaults(),
+		mux:    http.NewServeMux(),
+		traces: obs.NewRing(0),
 	}
 	s.sem = make(chan struct{}, s.cfg.MaxInFlight)
-	deriveBuffered := s.compute(deriveEndpoint)
-	deriveStream := s.stream(DeriveStream)
+	deriveBuffered := s.compute("derive", &s.lat.derive, deriveEndpoint)
+	deriveStream := s.stream("derive/stream", &s.lat.deriveStream, DeriveStream)
 	if len(s.cfg.Peers) > 0 {
 		gw, err := cluster.New(cluster.Config{
 			Peers:        s.cfg.Peers,
@@ -149,13 +161,13 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.gw = gw
-		deriveBuffered = s.compute(gatewayDeriveEndpoint)
+		deriveBuffered = s.compute("derive", &s.lat.derive, gatewayDeriveEndpoint)
 		// A request already forwarded by a gateway is served single-node:
 		// re-sharding it could recurse — a peer list that (mis)includes this
 		// gateway's own address, or a ring of gateways, must degrade to one
 		// extra hop, not to a stack of sub-requests eating every in-flight
 		// slot.
-		plain, sharded := deriveStream, s.stream(s.gatewayDeriveStream)
+		plain, sharded := deriveStream, s.stream("derive/stream", &s.lat.deriveStream, s.gatewayDeriveStream)
 		deriveStream = func(w http.ResponseWriter, r *http.Request) {
 			if r.Header.Get(cluster.HopHeader) != "" {
 				plain(w, r)
@@ -167,12 +179,13 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /tracez", s.handleTracez)
 	s.mux.HandleFunc("POST /v1/derive", deriveBuffered)
 	s.mux.HandleFunc("POST /v1/derive/stream", deriveStream)
-	s.mux.HandleFunc("POST /v1/allocate", s.compute(allocateEndpoint))
-	s.mux.HandleFunc("POST /v1/allocate/stream", s.stream(AllocateStream))
-	s.mux.HandleFunc("POST /v1/calibrate", s.compute(calibrateEndpoint))
-	s.mux.HandleFunc("POST /v1/calibrate/stream", s.stream(CalibrateStream))
+	s.mux.HandleFunc("POST /v1/allocate", s.compute("allocate", &s.lat.allocate, allocateEndpoint))
+	s.mux.HandleFunc("POST /v1/allocate/stream", s.stream("allocate/stream", &s.lat.allocateStream, AllocateStream))
+	s.mux.HandleFunc("POST /v1/calibrate", s.compute("calibrate", &s.lat.calibrate, calibrateEndpoint))
+	s.mux.HandleFunc("POST /v1/calibrate/stream", s.stream("calibrate/stream", &s.lat.calibrateStream, CalibrateStream))
 	return s, nil
 }
 
@@ -230,6 +243,7 @@ type StatszResponse struct {
 	Cache    core.CacheStats `json:"cache"`
 	Pool     mat.PoolStats   `json:"pool"`
 	Server   ServerStats     `json:"server"`
+	Latency  LatencyStats    `json:"latency"`
 	SimSteps uint64          `json:"simSteps"`
 	Gateway  *cluster.Stats  `json:"gateway,omitempty"`
 	Store    *store.Stats    `json:"store,omitempty"`
@@ -244,6 +258,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 		Cache:    core.DeriveCacheStats(),
 		Pool:     mat.SharedPool.Stats(),
 		Server:   s.Stats(),
+		Latency:  s.latencyStats(),
 		SimSteps: switching.SimSteps(),
 	}
 	if s.gw != nil {
@@ -298,15 +313,27 @@ func isCancellation(err error) bool {
 // behaviour (the abandoned computation finishes and warms the cache).
 //
 //cpsdyn:ctx-compat the Background is the documented -complete-background mode: detaching the computation from the request's fate is the feature, not an oversight
-func (s *Server) compute(fn endpoint) http.HandlerFunc {
+func (s *Server) compute(op string, lat *obs.Histogram, fn endpoint) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
 		body, status, err := readBody(r, s.cfg.MaxBodyBytes)
 		if err != nil {
 			writeError(w, status, err)
 			return
 		}
+		// Every request past the body read is traced and timed: the span
+		// carries the per-stage breakdown into /tracez, the histogram the
+		// endpoint's whole-request latency (successes, rejections and
+		// budget overruns alike) into /statsz and /metrics. A forwarded
+		// request's obs.TraceHeader parents the span to the gateway's.
+		tr := obs.NewTrace(op, r.Header.Get(obs.TraceHeader))
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 		defer cancel()
+		ctx = obs.WithTrace(ctx, tr)
+		defer func() {
+			lat.Since(start)
+			s.finishTrace(ctx, tr)
+		}()
 		// Prefer a free slot over an expired context: with both select
 		// cases ready Go picks randomly, which would turn budget overruns
 		// into spurious 503s when capacity was available all along.
@@ -330,7 +357,9 @@ func (s *Server) compute(fn endpoint) http.HandlerFunc {
 		if s.cfg.CompleteInBackground {
 			// Detach the computation from the request's fate; the budget
 			// then only bounds how long the client waits for the answer.
-			computeCtx = context.Background()
+			// The trace rides along — stage timings recorded after the
+			// handler finishes the span are simply dropped.
+			computeCtx = obs.WithTrace(context.Background(), tr)
 		}
 		type result struct {
 			v   any
@@ -380,7 +409,9 @@ func (s *Server) compute(fn endpoint) http.HandlerFunc {
 				writeError(w, status, res.err)
 				return
 			}
+			encodeStart := time.Now()
 			writeJSON(w, http.StatusOK, res.v)
+			tr.StageSince(obs.StageEncode, encodeStart)
 		case <-ctx.Done():
 			if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
 				// Client disconnected; nobody is listening for a reply and
@@ -425,7 +456,7 @@ func decodeStrict(body []byte, v any) error {
 
 func deriveEndpoint(ctx context.Context, s *Server, body []byte) (any, error) {
 	var req DeriveRequest
-	if err := decodeStrict(body, &req); err != nil {
+	if err := decodeTraced(ctx, body, &req); err != nil {
 		return nil, err
 	}
 	// The operator's -workers flag is a ceiling, not a default: a client
@@ -443,11 +474,11 @@ type AllocateResponse struct {
 	Fleets []*FleetResult `json:"fleets"`
 }
 
-func allocateEndpoint(_ context.Context, s *Server, body []byte) (any, error) {
+func allocateEndpoint(ctx context.Context, s *Server, body []byte) (any, error) {
 	// Allocation analysis is cheap arithmetic; it finishes well inside any
 	// budget, so it does not take cancellation points.
 	var req AllocateRequest
-	if err := decodeStrict(body, &req); err != nil {
+	if err := decodeTraced(ctx, body, &req); err != nil {
 		return nil, err
 	}
 	fleets, single, err := req.FleetRequests()

@@ -540,7 +540,7 @@ func TestComputeRecoversPanic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := s.compute(func(context.Context, *Server, []byte) (any, error) { panic("boom") })
+	h := s.compute("panic", &s.lat.derive, func(context.Context, *Server, []byte) (any, error) { panic("boom") })
 	rr := httptest.NewRecorder()
 	h(rr, httptest.NewRequest(http.MethodPost, "/x", strings.NewReader(`{}`)))
 	if rr.Code != http.StatusInternalServerError {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"cpsdyn/internal/conc"
+	"cpsdyn/internal/obs"
 	"cpsdyn/internal/sched"
 )
 
@@ -39,6 +40,14 @@ type Line[T any] struct {
 // Line. This is the request half of the streaming codec shared by
 // POST /v1/derive/stream, slotalloc -stream and cpsrepro derive -stream.
 func DecodeLines[T any](r io.Reader, maxLine int64) iter.Seq[Line[T]] {
+	return decodeLines[T](r, maxLine, nil)
+}
+
+// decodeLines is DecodeLines with per-line decode timing attributed to the
+// trace's decode stage. Only the decodeStrict call is timed — the scanner
+// read blocks on the network (for a gateway sub-stream, on the gateway's
+// own pace), which is idle time, not decoding.
+func decodeLines[T any](r io.Reader, maxLine int64, tr *obs.Trace) iter.Seq[Line[T]] {
 	if maxLine <= 0 {
 		maxLine = 8 << 20
 	}
@@ -59,10 +68,17 @@ func DecodeLines[T any](r io.Reader, maxLine int64) iter.Seq[Line[T]] {
 			}
 			ln := Line[T]{Index: i}
 			v := new(T)
+			var t0 time.Time
+			if tr != nil {
+				t0 = time.Now()
+			}
 			if err := decodeStrict(raw, v); err != nil {
 				ln.Err = &RequestError{Err: err}
 			} else {
 				ln.Val = v
+			}
+			if tr != nil {
+				tr.StageSince(obs.StageDecode, t0)
 			}
 			i++
 			if !yield(ln) {
@@ -155,10 +171,10 @@ func (o StreamOptions) window(workers int) int {
 // successfully decoded specs claim a name. The seen set is the one per-row
 // retention of the stream — names only, a few bytes per row, not rows or
 // results. Shared by DeriveStream and the gateway's sharded engine.
-func deriveSource(r io.Reader, maxLine int64, stats *StreamStats) iter.Seq[Line[DeriveAppSpec]] {
+func deriveSource(r io.Reader, maxLine int64, stats *StreamStats, tr *obs.Trace) iter.Seq[Line[DeriveAppSpec]] {
 	seen := make(map[string]bool)
 	return func(yield func(Line[DeriveAppSpec]) bool) {
-		for ln := range countingSource[DeriveAppSpec](r, maxLine, stats) {
+		for ln := range countingSource[DeriveAppSpec](r, maxLine, stats, tr) {
 			if ln.Val != nil {
 				if seen[ln.Val.Name] {
 					ln = Line[DeriveAppSpec]{Index: ln.Index, Err: &RequestError{
@@ -178,9 +194,9 @@ func deriveSource(r io.Reader, maxLine int64, stats *StreamStats) iter.Seq[Line[
 // countingSource decodes one T per NDJSON line, counting rows into stats —
 // the request half shared by the engines with no extra per-line discipline
 // (deriveSource layers the duplicate-name check on top of the same shape).
-func countingSource[T any](r io.Reader, maxLine int64, stats *StreamStats) iter.Seq[Line[T]] {
+func countingSource[T any](r io.Reader, maxLine int64, stats *StreamStats, tr *obs.Trace) iter.Seq[Line[T]] {
 	return func(yield func(Line[T]) bool) {
-		for ln := range DecodeLines[T](r, maxLine) {
+		for ln := range decodeLines[T](r, maxLine, tr) {
 			stats.RowsIn++
 			if !yield(ln) {
 				return
@@ -189,12 +205,22 @@ func countingSource[T any](r io.Reader, maxLine int64, stats *StreamStats) iter.
 	}
 }
 
-// encodeSink writes result rows to w, counting each into stats — the
-// emission half every streaming engine shares.
-func encodeSink[R any](w io.Writer, stats *StreamStats) func(int, R) error {
+// encodeSink writes result rows to w, counting each into stats and the
+// row's encode+write time into the trace's encode stage — the emission
+// half every streaming engine shares. The write is included deliberately:
+// a slow client throttling the stream through flow control shows up here,
+// which is exactly the question "where does stream time go" asks.
+func encodeSink[R any](w io.Writer, stats *StreamStats, tr *obs.Trace) func(int, R) error {
 	return func(_ int, row R) error {
+		var t0 time.Time
+		if tr != nil {
+			t0 = time.Now()
+		}
 		if err := EncodeResult(w, row); err != nil {
 			return err
+		}
+		if tr != nil {
+			tr.StageSince(obs.StageEncode, t0)
 		}
 		stats.RowsOut++
 		return nil
@@ -212,10 +238,11 @@ func encodeSink[R any](w io.Writer, stats *StreamStats) func(int, R) error {
 // can still be written); a write failure on w stops it likewise.
 func DeriveStream(ctx context.Context, r io.Reader, w io.Writer, opts StreamOptions) (StreamStats, error) {
 	var stats StreamStats
+	tr := obs.FromContext(ctx)
 	err := conc.StreamOrdered(ctx, opts.Workers, opts.window(effectiveWorkers(opts.Workers)),
-		deriveSource(r, opts.MaxLine, &stats),
+		deriveSource(r, opts.MaxLine, &stats, tr),
 		deriveStreamRow,
-		encodeSink[StreamRow](w, &stats))
+		encodeSink[StreamRow](w, &stats, tr))
 	return stats, err
 }
 
@@ -265,10 +292,11 @@ type FleetStreamRow struct {
 // bounded worker pool. It backs slotalloc -stream.
 func AllocateStream(ctx context.Context, r io.Reader, w io.Writer, opts StreamOptions) (StreamStats, error) {
 	var stats StreamStats
+	tr := obs.FromContext(ctx)
 	err := conc.StreamOrdered(ctx, opts.Workers, opts.window(effectiveWorkers(opts.Workers)),
-		countingSource[FleetRequest](r, opts.MaxLine, &stats),
+		countingSource[FleetRequest](r, opts.MaxLine, &stats, tr),
 		allocateStreamRow,
-		encodeSink[FleetStreamRow](w, &stats))
+		encodeSink[FleetStreamRow](w, &stats, tr))
 	return stats, err
 }
 
@@ -355,8 +383,9 @@ type streamEngine func(ctx context.Context, r io.Reader, w io.Writer, opts Strea
 // computations mid-stream. Since the 200 status is on the wire before the
 // first row, failures past that point are reported in-band: per-row error
 // rows, plus a terminal Index −1 row when the budget kills the stream.
-func (s *Server) stream(engine streamEngine) http.HandlerFunc {
+func (s *Server) stream(op string, lat *obs.Histogram, engine streamEngine) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
 		workers := s.cfg.Workers
 		if q := r.URL.Query().Get("workers"); q != "" {
 			n, err := strconv.Atoi(q)
@@ -373,8 +402,17 @@ func (s *Server) stream(engine streamEngine) http.HandlerFunc {
 				workers = n
 			}
 		}
+		// The stream's span: a replica serving a gateway sub-stream finds
+		// the gateway's trace ID in the obs.TraceHeader and records its
+		// whole side of the exchange as a child span.
+		tr := obs.NewTrace(op, r.Header.Get(obs.TraceHeader))
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 		defer cancel()
+		ctx = obs.WithTrace(ctx, tr)
+		defer func() {
+			lat.Since(start)
+			s.finishTrace(ctx, tr)
+		}()
 		// The whole stream occupies one in-flight slot (its internal fan-out is
 		// bounded by workers), with the same free-slot preference as compute.
 		select {
@@ -416,6 +454,7 @@ func (s *Server) stream(engine streamEngine) http.HandlerFunc {
 			Window:  s.cfg.StreamWindow,
 			MaxLine: s.cfg.MaxBodyBytes,
 		})
+		tr.AddRows(stats.RowsOut)
 		s.rowsIn.Add(uint64(stats.RowsIn))
 		s.rowsOut.Add(uint64(stats.RowsOut))
 		if err == nil {

@@ -1,0 +1,144 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"testing"
+
+	"cpsdyn/internal/obs"
+)
+
+// A completed request must show up on /tracez with its stage breakdown —
+// the decode and encode stages at minimum, since every buffered request
+// passes through both — and with a usable span identity.
+func TestTracezReportsFinishedRequests(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	if code, out := postJSON(t, ts.URL+"/v1/derive", servoDeriveRequest(2)); code != http.StatusOK {
+		t.Fatalf("derive status = %d: %s", code, out)
+	}
+	var tz TracezResponse
+	if code := getJSON(t, ts.URL+"/tracez", &tz); code != http.StatusOK {
+		t.Fatalf("/tracez status = %d", code)
+	}
+	var span *obs.TraceSnapshot
+	for i := range tz.Traces {
+		if tz.Traces[i].Op == "derive" {
+			span = &tz.Traces[i]
+			break
+		}
+	}
+	if span == nil {
+		t.Fatalf("no derive span on /tracez: %+v", tz.Traces)
+	}
+	if span.ID == "" || span.Parent != "" || span.Seconds <= 0 {
+		t.Fatalf("derive span = %+v, want a rooted span with positive duration", span)
+	}
+	stages := make(map[string]obs.StageBreakdown, len(span.Stages))
+	for _, st := range span.Stages {
+		if st.Count == 0 || st.Seconds < 0 {
+			t.Fatalf("stage %+v, want positive count and non-negative time", st)
+		}
+		stages[st.Stage] = st
+	}
+	for _, want := range []string{"decode", "encode"} {
+		if _, ok := stages[want]; !ok {
+			t.Errorf("derive span missing stage %q: %+v", want, span.Stages)
+		}
+	}
+	if stages["decode"].Count != 1 || stages["encode"].Count != 1 {
+		t.Errorf("buffered request decode/encode counts = %+v, want 1 each", span.Stages)
+	}
+}
+
+// The acceptance pin of trace propagation: a traced stream through a
+// gateway and two replicas answers byte-identically to an untraced
+// single-node run, the gateway records the root span under the client's
+// parent ID, and every row is accounted for by replica child spans whose
+// Parent is the gateway's trace ID.
+func TestGatewayTracePropagation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-replica cold derivations in -short mode (CI's gateway e2e job checks /tracez live)")
+	}
+	req := shardedDeriveRequest(24)
+
+	// Untraced reference: the stream engine run directly, no server, no
+	// trace in the context.
+	var want bytes.Buffer
+	if _, err := DeriveStream(context.Background(), ndjsonBody(t, req.Apps), &want, StreamOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	gw, replicas := newGatewayCluster(t, 2, Config{})
+	const clientTrace = "cafef00ddeadbeef"
+	hreq, err := http.NewRequest(http.MethodPost, gw.URL+"/v1/derive/stream?workers=3", ndjsonBody(t, req.Apps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/x-ndjson")
+	hreq.Header.Set(obs.TraceHeader, clientTrace)
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced gateway stream status = %d", resp.StatusCode)
+	}
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("traced gateway stream differs from untraced single-node output:\n gateway %s\n single  %s",
+			got, want.Bytes())
+	}
+
+	// The gateway's root span: child of the client's trace ID.
+	var gz TracezResponse
+	if code := getJSON(t, gw.URL+"/tracez", &gz); code != http.StatusOK {
+		t.Fatalf("gateway /tracez status = %d", code)
+	}
+	root := ""
+	for _, tr := range gz.Traces {
+		if tr.Op == "derive/stream" && tr.Parent == clientTrace {
+			root = tr.ID
+			if tr.Rows != int64(len(req.Apps)) {
+				t.Fatalf("root span rows = %d, want %d", tr.Rows, len(req.Apps))
+			}
+		}
+	}
+	if root == "" {
+		t.Fatalf("gateway /tracez has no derive/stream span with parent %q: %+v", clientTrace, gz.Traces)
+	}
+
+	// Replica child spans: one per shard owner's sub-stream, Parent set to
+	// the gateway's trace ID, and their rows together covering the request
+	// (healthy peers answered everything remotely).
+	var childRows int64
+	children := 0
+	for i, r := range replicas {
+		var rz TracezResponse
+		if code := getJSON(t, r.URL+"/tracez", &rz); code != http.StatusOK {
+			t.Fatalf("replica %d /tracez status = %d", i, code)
+		}
+		for _, tr := range rz.Traces {
+			if tr.Parent != root {
+				continue
+			}
+			children++
+			childRows += tr.Rows
+			if tr.Op != "derive/stream" {
+				t.Errorf("replica %d child span op = %q, want derive/stream", i, tr.Op)
+			}
+		}
+	}
+	if children == 0 {
+		t.Fatal("no replica child spans carry the gateway's trace ID")
+	}
+	if childRows != int64(len(req.Apps)) {
+		t.Fatalf("child spans account for %d rows, want %d (all rows on traced sub-streams)",
+			childRows, len(req.Apps))
+	}
+}

@@ -38,6 +38,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cpsdyn/internal/obs"
 )
 
 // Options tunes a Store.
@@ -185,6 +187,10 @@ func (s *Store) path(hash string) string {
 // format mismatch) is counted as a load error, deleted, and reported as a
 // miss so the caller re-derives. Get implements core.ArtifactStore.
 func (s *Store) Get(key string) (any, bool) {
+	// Every load attempt that touches disk is recorded — hit or corrupt
+	// alike — so the histogram answers "what does a read-through cost",
+	// not "what does a successful one cost". Pure index misses are not
+	// timed: they never leave memory.
 	h := keyHash(key)
 	hash := hex.EncodeToString(h[:])
 	s.mu.Lock()
@@ -196,6 +202,7 @@ func (s *Store) Get(key string) (any, bool) {
 	if !ok {
 		return nil, false
 	}
+	defer obs.StoreLoadLatency.Since(time.Now())
 	data, err := os.ReadFile(s.path(hash))
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -259,6 +266,7 @@ func (s *Store) Put(key string, v any) {
 // same directory, atomically rename over the live name, then account the
 // record and enforce the byte cap.
 func (s *Store) write(req writeReq) {
+	defer obs.StoreStoreLatency.Since(time.Now())
 	h := keyHash(req.key)
 	rec, err := encodeRecord(h, req.v)
 	if err != nil {
